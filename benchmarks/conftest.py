@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing, each writes its rendered series to
+``results/<name>.txt`` (and stdout) so the numbers survive output capture;
+EXPERIMENTS.md is compiled from those files.
+
+Scale is controlled by ``REPRO_PROFILE`` (quick / bench / full, default
+bench) — see :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Write a rendered table to results/<name>.txt and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Time one full sweep exactly once (simulations are deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

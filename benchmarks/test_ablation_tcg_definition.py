@@ -1,0 +1,71 @@
+"""Ablation A5: what makes a *tightly-coupled* group tight?
+
+The paper's definition (Section IV-A/B) requires *both* geographic
+vicinity (weighted average distance ≤ Δ) and operational vicinity (access
+similarity ≥ δ).  This ablation runs GroCoCa with three group definitions:
+
+* **both** — the paper's TCG (distance AND similarity),
+* **distance-only** — proximity clustering like the related work the
+  paper positions against (the similarity condition is void),
+* **similarity-only** — data affinity without geography (Δ = ∞).
+
+This is an *exploratory* ablation: the reproduction's measured outcome is
+parameter-dependent and worth reporting honestly.  At the bench scale
+(δ = 0.1, 60 clients) the looser definitions actually collect a few more
+global hits — a wider membership widens the signature filter, and the
+broadcast search then also reaps overlap hits from nearby non-members —
+while the strict definition concentrates its hits almost entirely inside
+the true motion group (the `tcg hits` column) and keeps the admission
+control's trust assumptions sound.  The benchmark asserts only the robust
+facts and records the full comparison for EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro.core.config import CachingScheme
+from repro.core.simulation import run_simulation
+from repro.experiments import base_config, format_results_row
+
+VARIANTS = [
+    ("both (paper TCG)", {}),
+    ("distance-only", {"similarity_threshold": 0.0}),
+    ("similarity-only", {"distance_threshold": 1.0e9}),
+]
+
+
+def test_ablation_a5_tcg_definition(benchmark, record_table):
+    config = base_config(scheme=CachingScheme.GC)
+
+    def runs():
+        return [
+            (name, run_simulation(config.replace(**overrides)))
+            for name, overrides in VARIANTS
+        ]
+
+    outcomes = run_once(benchmark, runs)
+    lines = ["=== Ablation A5: TCG definition (distance AND/OR similarity) ==="]
+    for name, result in outcomes:
+        share = (
+            100.0 * result.global_hits_tcg / result.global_hits
+            if result.global_hits
+            else 0.0
+        )
+        lines.append(
+            f"  {name:>18}: {format_results_row(result)}  tcg-share={share:.0f}%"
+        )
+    record_table("ablation_a5_tcg_definition", "\n".join(lines))
+
+    results = dict(outcomes)
+    both = results["both (paper TCG)"]
+    distance_only = results["distance-only"]
+    similarity_only = results["similarity-only"]
+    # Robust facts: every definition finds groups and earns global hits ...
+    for result in (both, distance_only, similarity_only):
+        assert result.global_hits > 0
+        assert result.server_request_ratio < 75.0  # cooperation is working
+    # ... and the variants land in the same performance neighbourhood: the
+    # definitional differences are second-order next to cooperation itself.
+    gch_values = [both.gch_ratio, distance_only.gch_ratio, similarity_only.gch_ratio]
+    assert max(gch_values) - min(gch_values) < 10.0
+    # The strict definition's hits come from genuine motion-group members.
+    assert both.global_hits_tcg > 0.9 * both.global_hits

@@ -1,0 +1,73 @@
+"""Extension E1: the Section I delivery-model comparison.
+
+Regenerates the argument the paper builds COCA on: under one channel
+budget, push-based delivery pays cycle-bound access latency and doze
+energy but is audience-independent, while pull is fast until the downlink
+saturates.  The series prints latency/power for pull, hybrid and push at a
+growing population; the crossover is the paper's motivation for pull +
+peer-to-peer cooperation.
+"""
+
+from conftest import run_once
+
+from repro.delivery import compare_delivery_models
+
+POPULATIONS = (10, 40, 160)
+
+
+def test_delivery_model_comparison(benchmark, record_table):
+    def sweep():
+        return {
+            n: compare_delivery_models(
+                n_clients=n,
+                n_data=2000,
+                access_range=200,
+                hot_items=200,
+                requests_per_client=10,
+                seed=7,
+            )
+            for n in POPULATIONS
+        }
+
+    table = run_once(benchmark, sweep)
+
+    lines = ["=== E1: data delivery models (Section I) ==="]
+    lines.append(
+        f"  {'clients':>8} | {'pull lat(s)':>12} {'hybrid lat(s)':>14}"
+        f" {'push lat(s)':>12} | {'pull uW.s/req':>14} {'push uW.s/req':>14}"
+    )
+    for n, outcomes in table.items():
+        lines.append(
+            f"  {n:>8} | {outcomes['pull'].access_latency:>12.3f}"
+            f" {outcomes['hybrid'].access_latency:>14.3f}"
+            f" {outcomes['push'].access_latency:>12.3f}"
+            f" | {outcomes['pull'].power_per_request:>14,.0f}"
+            f" {outcomes['push'].power_per_request:>14,.0f}"
+        )
+    record_table("e1_delivery_models", "\n".join(lines))
+
+    small, large = POPULATIONS[0], POPULATIONS[-1]
+    # Push is audience-independent (latency pinned to the cycle)...
+    assert table[large]["push"].access_latency == (
+        __import__("pytest").approx(table[small]["push"].access_latency, rel=0.2)
+    )
+    # ... and always pays more energy per request than an unsaturated pull.
+    assert (
+        table[small]["push"].power_per_request
+        > table[small]["pull"].power_per_request
+    )
+    # Pull degrades with the audience; at a small audience it wins latency.
+    assert (
+        table[large]["pull"].access_latency
+        > table[small]["pull"].access_latency
+    )
+    assert (
+        table[small]["pull"].access_latency
+        < table[small]["push"].access_latency
+    )
+    # Hybrid sits between pull and push on latency at every population.
+    for n in POPULATIONS:
+        assert (
+            table[n]["hybrid"].access_latency
+            < table[n]["push"].access_latency
+        )

@@ -1,0 +1,41 @@
+"""Fig. 8: effect of the client disconnection probability.
+
+Paper shapes this bench checks:
+* LC's access latency *improves* with the disconnection probability (the
+  downlink decongests as clients pause);
+* the cooperative schemes lose GCH as peers disappear;
+* GroCoCa pays reconnection overhead (signature recollection), so its
+  signature power grows with the disconnection rate.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_sweep_table, sweep_disconnection
+
+
+def test_fig8_disconnection(benchmark, record_table):
+    table = run_once(benchmark, sweep_disconnection)
+    record_table(
+        "fig8_disconnection",
+        format_sweep_table(table, "effect of disconnection probability"),
+    )
+
+    stable, flaky = table.values[0], table.values[-1]
+    # The downlink decongests when clients go quiet.
+    assert (
+        table.result("LC", flaky).access_latency
+        < table.result("LC", stable).access_latency
+    )
+    # Fewer reachable peers -> fewer global hits.
+    for scheme in ("CC", "GC"):
+        assert (
+            table.result(scheme, flaky).gch_ratio
+            < table.result(scheme, stable).gch_ratio
+        )
+    # GroCoCa's disconnection handling (membership sync + signature
+    # recollection) is amortised over ever fewer global hits: the power per
+    # GCH climbs with the disconnection rate (the paper's panel d).
+    assert (
+        table.result("GC", flaky).power_per_gch
+        > table.result("GC", stable).power_per_gch
+    )

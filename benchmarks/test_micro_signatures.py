@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the cache signature machinery (Section IV-D).
+
+Verifies the analytic models of the paper against the implementation:
+the Bloom false-positive formula and the VLFL expected compressed size,
+plus raw throughput of signature construction and compression.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.signatures import SignatureScheme, find_optimal_r, vlfl_decode, vlfl_encode
+from repro.signatures.vlfl import expected_compressed_bits, zero_probability
+
+
+def test_micro_bloom_false_positive_model(benchmark, record_table):
+    size_bits, k = 10_000, 2
+    scheme = SignatureScheme(np.random.default_rng(0), size_bits, k)
+
+    def build_and_probe():
+        bloom = scheme.make_filter()
+        bloom.add_all(range(100))
+        hits = sum(bloom.might_contain(item) for item in range(50_000, 55_000))
+        return hits / 5000
+
+    observed = run_once(benchmark, build_and_probe)
+    predicted = scheme.false_positive_probability(100)
+    lines = [
+        "=== Micro: Bloom filter false positives (sigma=10,000, k=2, 100 items) ===",
+        f"  predicted: {predicted:.5f}",
+        f"  observed : {observed:.5f}",
+    ]
+    record_table("micro_bloom", "\n".join(lines))
+    assert abs(observed - predicted) < 0.005
+
+
+def test_micro_vlfl_compression_ratio(benchmark, record_table):
+    size_bits, k = 10_000, 2
+    scheme = SignatureScheme(np.random.default_rng(1), size_bits, k)
+    rows = []
+    for cached in (25, 50, 100, 200, 400):
+        bloom = scheme.make_filter()
+        bloom.add_all(range(cached))
+        run_cap = find_optimal_r(cached, size_bits, k)
+        compressed = vlfl_encode(bloom.bits, run_cap)
+        phi = zero_probability(cached, size_bits, k)
+        predicted = expected_compressed_bits(size_bits, phi, run_cap) / 8
+        rows.append(
+            f"  eps={cached:4d}  R={run_cap:4d}  raw={size_bits // 8:5d} B"
+            f"  compressed={compressed.size_bytes:5d} B"
+            f"  predicted={predicted:7.0f} B"
+            f"  ratio={compressed.size_bytes / (size_bits / 8):.3f}"
+        )
+        assert np.array_equal(vlfl_decode(compressed), bloom.bits)
+
+    def roundtrip():
+        bloom = scheme.make_filter()
+        bloom.add_all(range(100))
+        run_cap = find_optimal_r(100, size_bits, k)
+        return vlfl_decode(vlfl_encode(bloom.bits, run_cap)).sum()
+
+    run_once(benchmark, roundtrip)
+    record_table(
+        "micro_vlfl",
+        "\n".join(["=== Micro: VLFL compression (sigma=10,000, k=2) ==="] + rows),
+    )

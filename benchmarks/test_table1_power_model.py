@@ -1,0 +1,63 @@
+"""Table I: the P2P power consumption measurement model.
+
+Regenerates the paper's Table I rows (µW·s cost per transmission event as a
+function of message size) from :class:`repro.net.power.PowerModel` and
+benchmarks the model evaluation itself.
+"""
+
+from conftest import run_once
+
+from repro.net.power import PowerModel
+
+ROWS = [
+    ("ptp send       (m = S)", "ptp_send"),
+    ("ptp recv       (m = D)", "ptp_recv"),
+    ("ptp discard  (S_R&D_R)", "ptp_discard_sd"),
+    ("ptp discard (S_R only)", "ptp_discard_s"),
+    ("ptp discard (D_R only)", "ptp_discard_d"),
+    ("bc send        (m = S)", "bc_send"),
+    ("bc recv      (m in S_R)", "bc_recv"),
+]
+
+SIZES = [48, 64, 512, 3104]
+
+
+def render_table1(model: PowerModel) -> str:
+    lines = ["=== Table I: power consumption model (uW.s) ==="]
+    header = f"  {'event':>24} |" + "".join(f"{f'{s} B':>10}" for s in SIZES)
+    lines.append(header)
+    lines.append("  " + "-" * (26 + 10 * len(SIZES)))
+    for label, method in ROWS:
+        costs = [getattr(model, method)(size) for size in SIZES]
+        lines.append(
+            f"  {label:>24} |" + "".join(f"{cost:10.1f}" for cost in costs)
+        )
+    p = model.parameters
+    lines.append("")
+    lines.append(
+        "  coefficients: ptp v_send=%.1f f_send=%.0f | v_recv=%.1f f_recv=%.0f"
+        % (p.ptp_send_v, p.ptp_send_f, p.ptp_recv_v, p.ptp_recv_f)
+    )
+    lines.append(
+        "  discards: f_sd=%.0f f_s=%.0f f_d=%.0f | bc f_send=%.0f f_recv=%.0f"
+        % (p.ptp_disc_sd_f, p.ptp_disc_s_f, p.ptp_disc_d_f, p.bc_send_f, p.bc_recv_f)
+    )
+    return "\n".join(lines)
+
+
+def test_table1_power_model(benchmark, record_table):
+    model = PowerModel()
+
+    def evaluate():
+        total = 0.0
+        for _ in range(1000):
+            for _, method in ROWS:
+                total += getattr(model, method)(3104)
+        return total
+
+    run_once(benchmark, evaluate)
+    record_table("table1_power_model", render_table1(model))
+    # The paper's surviving Table I constants.
+    assert model.ptp_discard_sd(100) == 70.0
+    assert model.ptp_discard_s(100) == 24.0
+    assert model.ptp_discard_d(100) == 56.0

@@ -1,0 +1,53 @@
+"""Table II: the simulation parameter defaults and their sweep ranges.
+
+Dumps the active configuration (paper defaults plus the scale profile in
+effect) and benchmarks simulation construction, which exercises the whole
+wiring path: mobility build, network, database, TCG manager, clients.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.experiments.runner import active_profile, base_config
+
+SWEEP_RANGES = {
+    "n_clients": "50 - 400 (Fig. 7)",
+    "cache_size": "50 - 250 (Fig. 2)",
+    "access_range": "500 - 10,000 (Fig. 4)",
+    "theta": "0 - 1 (Fig. 3)",
+    "group_size": "1 - 20 (Fig. 5)",
+    "data_update_rate": "0 - 10 /s (Fig. 6)",
+    "p_disc": "0 - 0.3 (Fig. 8)",
+}
+
+
+def render_table2(config: SimulationConfig) -> str:
+    lines = [
+        "=== Table II: simulation parameters ===",
+        f"  (scale profile: {active_profile()})",
+        f"  {'parameter':>24} | {'value':>14} | range",
+        "  " + "-" * 64,
+    ]
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if hasattr(value, "value"):
+            value = value.value
+        sweep = SWEEP_RANGES.get(field.name, "-")
+        lines.append(f"  {field.name:>24} | {str(value):>14} | {sweep}")
+    return "\n".join(lines)
+
+
+def test_table2_parameters(benchmark, record_table):
+    config = base_config()
+    simulation = run_once(benchmark, lambda: Simulation(config))
+    record_table("table2_parameters", render_table2(config))
+    assert len(simulation.clients) == config.n_clients
+    # Paper defaults that survive the OCR must hold in the full profile.
+    paper = SimulationConfig()
+    assert paper.data_size == 3072
+    assert paper.bw_p2p == 2_000_000.0
+    assert paper.replace_delay == 2
+    assert (paper.v_min, paper.v_max) == (1.0, 5.0)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Why COCA pulls: push vs hybrid vs pull data delivery (Section I).
+
+The paper motivates its pull + P2P design against the push-based and
+hybrid dissemination models: broadcast channels scale to any audience, but
+a client must wait for the air index and then for its item's slot — paying
+cycle-bound latency and doze energy.  This script reproduces the argument
+and then shows the flip side: sweeping the population, the pull downlink
+saturates while the push latency stays constant.
+
+Run:
+    python examples/delivery_models.py
+"""
+
+from repro.delivery import compare_delivery_models
+
+
+def print_table(title, outcomes):
+    print(title)
+    print(f"{'model':>8} {'latency(s)':>12} {'power/req(uW.s)':>17}"
+          f" {'from air':>9} {'server reqs':>12}")
+    for name in ("pull", "hybrid", "push"):
+        r = outcomes[name]
+        print(
+            f"{name:>8} {r.access_latency:>12.3f} {r.power_per_request:>17,.0f}"
+            f" {r.pushed_fraction:>8.0%} {r.server_requests:>12}"
+        )
+    print()
+
+
+def main() -> None:
+    print("=== One shared 2.5 Mb/s channel, 2,000-item database ===\n")
+    outcomes = compare_delivery_models(
+        n_clients=20, n_data=2000, access_range=200, hot_items=200,
+        requests_per_client=15, seed=7,
+    )
+    print_table("20 clients (pull unsaturated):", outcomes)
+
+    print("=== Scaling the audience: pull saturates, push does not ===\n")
+    print(f"{'clients':>8} {'pull latency(s)':>16} {'push latency(s)':>16}")
+    for n_clients in (10, 40, 160):
+        sweep = compare_delivery_models(
+            n_clients=n_clients, n_data=2000, access_range=200,
+            hot_items=200, requests_per_client=10, seed=7,
+        )
+        print(
+            f"{n_clients:>8} {sweep['pull'].access_latency:>16.3f}"
+            f" {sweep['push'].access_latency:>16.3f}"
+        )
+    print(
+        "\nPush latency is pinned to the broadcast cycle regardless of the"
+        "\naudience; pull is far faster until the downlink saturates. COCA"
+        "\nkeeps the pull model and fights the saturation with the peers'"
+        "\ncaches instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

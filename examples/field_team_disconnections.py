@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: field survey teams with flaky connectivity.
+
+Survey teams roam a site; handhelds power-save aggressively, so clients
+drop off the network after finishing work with some probability (the
+paper's Section VI-F setting).  This script sweeps the disconnection
+probability for GroCoCa and shows the trade the paper reports: the
+downlink decongests (latency falls for everyone), but the cooperative
+cache loses reach and the reconnection protocol (membership sync +
+signature recollection) costs extra power.
+
+Run:
+    python examples/field_team_disconnections.py
+"""
+
+from repro import CachingScheme, SimulationConfig, run_simulation
+
+
+def main() -> None:
+    base = SimulationConfig(
+        scheme=CachingScheme.GC,
+        n_clients=20,
+        group_size=5,
+        n_data=2000,
+        access_range=200,
+        cache_size=30,
+        bw_downlink=500_000.0,
+        measure_requests=40,
+        warmup_min_time=200.0,
+        warmup_max_time=300.0,
+        ndp_enabled=False,
+        seed=5,
+    )
+
+    print("GroCoCa under increasing disconnection probability\n")
+    print(
+        f"{'P_disc':>8} {'latency(ms)':>12} {'GCH(%)':>8} {'server(%)':>10}"
+        f" {'sig power(uW.s)':>16} {'syncs':>7}"
+    )
+    for p_disc in (0.0, 0.1, 0.2, 0.3):
+        from repro.core.simulation import Simulation
+
+        sim = Simulation(base.replace(p_disc=p_disc))
+        results = sim.run()
+        print(
+            f"{p_disc:>8.2f} {results.access_latency * 1000:>12.1f}"
+            f" {results.gch_ratio:>8.1f} {results.server_request_ratio:>10.1f}"
+            f" {results.power_signature:>16,.0f}"
+            f" {sim.server.membership_syncs:>7}"
+        )
+
+    print(
+        "\nAs P_disc grows, peers vanish mid-tour: the global cache hit"
+        "\nratio erodes while signature power climbs - every reconnection"
+        "\ntriggers a membership sync and a full signature recollection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: guided tour groups in a museum hall.
+
+The paper's motivating workload: visitors move in tour groups (reference
+point group mobility), and members of a group ask for the same exhibit
+information (a shared Zipf access range).  This script compares the three
+schemes — conventional caching (LC), COCA (CC) and GroCoCa (GC) — on this
+scenario and shows why group-aware cooperation wins: the tour group *is*
+the tightly-coupled group, so cache signatures and cooperative cache
+management concentrate exactly where the sharing happens.
+
+Run:
+    python examples/museum_tour_groups.py
+"""
+
+from repro import SimulationConfig, compare_schemes
+
+
+def main() -> None:
+    # A 400 m x 400 m hall, 24 visitors in 4 tour groups of 6, strolling at
+    # 0.5-1.5 m/s.  Each group follows its own path through ~150 exhibits
+    # of a 3,000-item catalogue; the popular exhibits dominate (theta=0.8).
+    config = SimulationConfig(
+        n_clients=24,
+        group_size=6,
+        area_width=400.0,
+        area_height=400.0,
+        v_min=0.5,
+        v_max=1.5,
+        n_data=3000,
+        access_range=150,
+        theta=0.8,
+        cache_size=25,
+        bw_downlink=400_000.0,  # one congested access point for the hall
+        measure_requests=40,
+        warmup_min_time=200.0,
+        warmup_max_time=300.0,
+        ndp_enabled=False,
+        seed=11,
+    )
+
+    print("Simulating 4 tour groups x 6 visitors under LC / CC / GC ...\n")
+    outcomes = compare_schemes(config)
+
+    header = f"{'':>22}" + "".join(f"{name:>12}" for name in outcomes)
+    print(header)
+    rows = [
+        ("access latency (ms)", lambda r: f"{r.access_latency * 1000:.1f}"),
+        ("server requests (%)", lambda r: f"{r.server_request_ratio:.1f}"),
+        ("local hits (%)", lambda r: f"{r.lch_ratio:.1f}"),
+        ("global hits (%)", lambda r: f"{r.gch_ratio:.1f}"),
+        ("hits from own group", lambda r: str(r.global_hits_tcg)),
+        ("power/GCH (uW.s)", lambda r: (
+            "-" if r.global_hits == 0 else f"{r.power_per_gch:,.0f}"
+        )),
+    ]
+    for label, render in rows:
+        cells = "".join(f"{render(r):>12}" for r in outcomes.values())
+        print(f"{label:>22}{cells}")
+
+    gc = outcomes["GC"]
+    if gc.global_hits:
+        share = 100.0 * gc.global_hits_tcg / gc.global_hits
+        print(
+            f"\nGroCoCa sourced {share:.0f}% of its global hits from the"
+            " visitor's own tour group - the TCG discovery found the tour"
+            " groups from mobility and access similarity alone."
+        )
+
+
+if __name__ == "__main__":
+    main()

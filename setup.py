@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this environment is offline and cannot fetch PEP 517 build requirements).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""GroCoCa / COCA: peer-to-peer cooperative caching in mobile environments.
+
+A full reproduction of Chow, Leong and Chan's COCA (ICDCS'04) and GroCoCa
+(IEEE JSAC) cooperative caching schemes, including every substrate the
+paper's evaluation depends on: a discrete-event simulation kernel, random
+waypoint and reference-point-group mobility, a contended P2P wireless
+medium with the Feeney–Nilsson power model, Zipf workloads, an MSS with
+TTL-based lazy consistency, and the complete cache signature machinery
+(Bloom filters, counting filters, VLFL compression, peer counter vectors).
+
+Quick start::
+
+    from repro import CachingScheme, SimulationConfig, run_simulation
+
+    config = SimulationConfig(scheme=CachingScheme.GC, measure_requests=50)
+    results = run_simulation(config)
+    print(results.access_latency, results.gch_ratio)
+"""
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Metrics, RequestOutcome, Results
+from repro.core.simulation import Simulation, compare_schemes, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CachingScheme",
+    "Metrics",
+    "RequestOutcome",
+    "Results",
+    "Simulation",
+    "SimulationConfig",
+    "compare_schemes",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Client cache substrate: an LRU cache with per-entry TTL metadata."""
+
+from repro.cache.lru import CacheEntry, LRUCache
+
+__all__ = ["CacheEntry", "LRUCache"]

@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows::
+
+    python -m repro run      --scheme GC --clients 20 --seed 7
+    python -m repro compare  --clients 20 --cache-size 30
+    python -m repro figure   fig2 --profile quick
+
+``run`` simulates one configuration and prints the paper's metrics;
+``compare`` runs LC / CC / GC paired on the same seed; ``figure``
+regenerates one of the paper's figures as a text table (see DESIGN.md for
+the figure index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Results
+from repro.core.simulation import compare_schemes, run_simulation
+
+__all__ = ["build_parser", "main"]
+
+FIGURES = {
+    "fig2": ("sweep_cache_size", "effect of cache size"),
+    "fig3": ("sweep_skewness", "effect of access skewness"),
+    "fig4": ("sweep_access_range", "effect of access range"),
+    "fig5": ("sweep_group_size", "effect of motion group size"),
+    "fig6": ("sweep_update_rate", "effect of data update rate"),
+    "fig7": ("sweep_n_clients", "effect of number of MHs"),
+    "fig8": ("sweep_disconnection", "effect of disconnection probability"),
+}
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", type=int, help="number of mobile hosts")
+    parser.add_argument("--data", type=int, help="database size (items)")
+    parser.add_argument("--cache-size", type=int, help="client cache (items)")
+    parser.add_argument("--access-range", type=int, help="per-group range")
+    parser.add_argument("--theta", type=float, help="Zipf skewness")
+    parser.add_argument("--group-size", type=int, help="motion group size")
+    parser.add_argument("--update-rate", type=float, help="item updates/s")
+    parser.add_argument("--p-disc", type=float, help="disconnection prob.")
+    parser.add_argument("--requests", type=int, help="measured requests/client")
+    parser.add_argument("--seed", type=int, help="master random seed")
+    parser.add_argument(
+        "--no-ndp", action="store_true", help="disable beaconing (faster)"
+    )
+
+
+_CONFIG_FIELDS = {
+    "clients": "n_clients",
+    "data": "n_data",
+    "cache_size": "cache_size",
+    "access_range": "access_range",
+    "theta": "theta",
+    "group_size": "group_size",
+    "update_rate": "data_update_rate",
+    "p_disc": "p_disc",
+    "requests": "measure_requests",
+    "seed": "seed",
+}
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    overrides = {}
+    for arg_name, field in _CONFIG_FIELDS.items():
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "no_ndp", False):
+        overrides["ndp_enabled"] = False
+    if getattr(args, "scheme", None):
+        overrides["scheme"] = CachingScheme[args.scheme]
+    return SimulationConfig(**overrides)
+
+
+def _print_results(results: Results) -> None:
+    print(f"  scheme                : {results.scheme}")
+    print(f"  requests              : {results.requests}")
+    print(f"  access latency        : {results.access_latency * 1000:.1f} ms")
+    print(f"  server request ratio  : {results.server_request_ratio:.1f} %")
+    print(f"  local cache hits      : {results.lch_ratio:.1f} %")
+    print(f"  global cache hits     : {results.gch_ratio:.1f} %")
+    print(f"  ... from TCG members  : {results.global_hits_tcg}")
+    if results.global_hits:
+        print(f"  power per GCH         : {results.power_per_gch:,.0f} uW.s")
+    print(f"  measured window       : {results.measured_time:.0f} s simulated")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GroCoCa/COCA mobile cooperative caching simulator",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="simulate one configuration")
+    run_parser.add_argument(
+        "--scheme", choices=[s.name for s in CachingScheme], default="GC"
+    )
+    _add_config_arguments(run_parser)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run LC / CC / GC on the same seed"
+    )
+    _add_config_arguments(compare_parser)
+
+    figure_parser = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument("figure", choices=sorted(FIGURES))
+    figure_parser.add_argument(
+        "--profile",
+        choices=["quick", "bench", "full"],
+        help="scale profile (default: REPRO_PROFILE or bench)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        config = _config_from_args(args)
+        print(f"Simulating {config.scheme.value} "
+              f"with {config.n_clients} clients ...")
+        _print_results(run_simulation(config))
+        return 0
+    if args.command == "compare":
+        config = _config_from_args(args)
+        print(f"Comparing LC / CC / GC with {config.n_clients} clients ...")
+        for name, results in compare_schemes(config).items():
+            print(f"\n--- {name} ---")
+            _print_results(results)
+        return 0
+    if args.command == "figure":
+        if args.profile:
+            os.environ["REPRO_PROFILE"] = args.profile
+        # Imported lazily so --profile is respected by the sweep defaults.
+        from repro.experiments import sweeps, tables
+
+        sweep_name, title = FIGURES[args.figure]
+        sweep = getattr(sweeps, sweep_name)
+        table = sweep(progress=lambda line: print(f"  {line}", file=sys.stderr))
+        print(tables.format_sweep_table(table, title))
+        return 0
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""GroCoCa cooperative cache admission control (Section IV-E).
+
+The admission rule controls replicas inside a TCG:
+
+* a global cache hit supplied while the local cache still has room is
+  always cached;
+* with a *full* cache, an item supplied by a TCG member is **not** cached —
+  it stays readily available at that member;
+* with a full cache, an item supplied by a non-member is cached (the
+  supplier may move away), displacing the victim chosen by the cooperative
+  replacement protocol.
+
+On the supplier side, serving a TCG member counts as an access: the
+supplier refreshes the item's recency so shared items survive longer in the
+group's aggregate cache.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionControl"]
+
+
+class AdmissionControl:
+    """The local admission decision for items obtained from peers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.rejected = 0
+        self.admitted = 0
+
+    def should_cache(self, cache_full: bool, from_tcg_member: bool) -> bool:
+        """Whether a peer-supplied item should be inserted locally."""
+        if not self.enabled:
+            decision = True
+        elif not cache_full:
+            decision = True
+        else:
+            decision = not from_tcg_member
+        if decision:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return decision

@@ -1,0 +1,656 @@
+"""The mobile host (MH) process.
+
+One :class:`MobileHost` per client runs the whole client side of the paper:
+
+* the request loop (exponential think time, Zipf accesses) of Section V-B,
+* the COCA search protocol of Section III — local cache, bounded-hop
+  broadcast search with adaptive timeout, first-reply target selection,
+  retrieve, MSS fallback,
+* GroCoCa's cache signature scheme (filtering, piggybacked updates,
+  SigRequest/SigReply, OutstandSigList) of Section IV-D,
+* cooperative cache admission control and replacement of Section IV-E,
+* TTL consistency with MSS validation of Section IV-F,
+* the disconnection/reconnection cycle of Sections IV-D.5 and V-B.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cache import CacheEntry, LRUCache
+from repro.core.admission import AdmissionControl
+from repro.core.coca import AdaptiveTimeout, initial_timeout
+from repro.core.config import SimulationConfig
+from repro.core.metrics import Metrics, RequestOutcome
+from repro.core.replacement import CooperativeReplacement
+from repro.core.server import MobileSupportStation
+from repro.core.signatures_proto import MembershipActions, SignatureAgent
+from repro.data.workload import AccessPattern
+from repro.net.channel import ServerChannel
+from repro.net.message import Message, MessageKind, MessageSizes
+from repro.net.ndp import NeighborDiscovery
+from repro.net.p2p import P2PNetwork
+from repro.sim.kernel import Environment
+from repro.signatures.bloom import SignatureScheme
+
+__all__ = ["MobileHost"]
+
+#: Wire bytes per piggybacked signature bit-position entry.
+_POSITION_BYTES = 2
+#: Upper bound on remembered peer-access history for explicit updates.
+_HISTORY_CAP = 200
+
+
+@dataclass
+class _SearchState:
+    """Book-keeping for one in-flight peer search."""
+
+    item: int
+    started: float
+    reply_event: object
+    data_event: object = None
+    replies: List[dict] = field(default_factory=list)
+    finished: bool = False
+
+
+class MobileHost:
+    """One mobile client."""
+
+    def __init__(
+        self,
+        index: int,
+        env: Environment,
+        config: SimulationConfig,
+        network: P2PNetwork,
+        channel: ServerChannel,
+        server: MobileSupportStation,
+        pattern: AccessPattern,
+        metrics: Metrics,
+        rng: np.random.Generator,
+        sizes: MessageSizes,
+        signature_scheme: Optional[SignatureScheme] = None,
+        ndp: Optional[NeighborDiscovery] = None,
+    ):
+        self.index = index
+        self.env = env
+        self.config = config
+        self.network = network
+        self.channel = channel
+        self.server = server
+        self.pattern = pattern
+        self.metrics = metrics
+        self.rng = rng
+        self.sizes = sizes
+        self.ndp = ndp
+        self.cache = LRUCache(config.cache_size)
+        self.connected = True
+        self.requests_completed = 0
+        self.disconnections = 0
+        self.last_server_contact = 0.0
+        self.timeout = AdaptiveTimeout(
+            initial_timeout(
+                config.hop_dist,
+                sizes.request,
+                sizes.reply,
+                config.bw_p2p,
+                config.congestion_phi,
+            ),
+            config.deviation_phi,
+        )
+
+        scheme = config.scheme
+        if scheme.group_based:
+            if signature_scheme is None:
+                raise ValueError("GroCoCa requires a signature scheme")
+            self.signatures: Optional[SignatureAgent] = SignatureAgent(
+                signature_scheme,
+                config.counter_bits,
+                compression_enabled=config.signature_compression,
+                recollect_batch=config.recollect_batch,
+            )
+            self.admission = AdmissionControl(config.admission_control)
+            self.replacement: Optional[CooperativeReplacement] = (
+                CooperativeReplacement(
+                    signature_scheme,
+                    self.cache,
+                    self.signatures.peer,
+                    config.replace_candidate,
+                    config.replace_delay,
+                    enabled=config.cooperative_replacement,
+                )
+            )
+        else:
+            self.signatures = None
+            self.admission = AdmissionControl(enabled=False)
+            self.replacement = None
+
+        self._search_seq = 0
+        self._searches: Dict[Tuple[int, int], _SearchState] = {}
+        self._seen_search: Dict[int, int] = {}  # origin -> latest seq seen
+        self._peer_history: List[int] = []
+
+        network.register_handler(index, self.on_message)
+        env.process(self.run())
+        if scheme.group_based and config.explicit_update_period > 0:
+            env.process(self._explicit_update_loop())
+
+    # ------------------------------------------------------------------ main loop
+
+    def run(self):
+        """Think, access, maybe disconnect — forever."""
+        config = self.config
+        while True:
+            yield self.env.timeout(self.rng.exponential(config.think_time_mean))
+            item = self.pattern.next_item()
+            yield from self.access_item(item)
+            self.requests_completed += 1
+            if config.p_disc > 0 and self.rng.random() < config.p_disc:
+                yield from self._disconnect_cycle()
+
+    def position(self) -> np.ndarray:
+        return self.network.field.position_of(self.index, self.env.now)
+
+    # ------------------------------------------------------------------- accessing
+
+    def access_item(self, item: int):
+        """Resolve one query: local cache, peers, then the MSS."""
+        start = self.env.now
+        entry = self.cache.get(item)
+        if entry is not None:
+            if entry.is_valid(self.env.now):
+                self._note_local_access(item, entry)
+                self.metrics.record_request(
+                    self.index,
+                    RequestOutcome.LOCAL_HIT,
+                    self.env.now - start,
+                    now=self.env.now,
+                )
+                return
+            yield from self._validate_with_server(item, entry, start)
+            return
+
+        if self.config.scheme.cooperative and self.connected:
+            result = yield from self._search_peers(item)
+            if result is not None:
+                reply, from_tcg = result
+                self._admit_from_peer(reply, from_tcg)
+                self._remember_peer_access(item)
+                self.metrics.record_request(
+                    self.index,
+                    RequestOutcome.GLOBAL_HIT,
+                    self.env.now - start,
+                    from_tcg=from_tcg,
+                    now=self.env.now,
+                )
+                return
+
+        yield from self._fetch_from_server(item, start)
+
+    def _note_local_access(self, item: int, entry: CacheEntry) -> None:
+        self.cache.touch(item, self.env.now)
+        if self.replacement is not None:
+            self.replacement.note_access(entry)
+
+    def _remember_peer_access(self, item: int) -> None:
+        if self.signatures is None:
+            return
+        if len(self._peer_history) < _HISTORY_CAP:
+            self._peer_history.append(item)
+
+    # --------------------------------------------------------------- peer searching
+
+    def _search_peers(self, item: int):
+        """COCA broadcast search; returns (reply dict, from_tcg) or None."""
+        signatures = self.signatures
+        if (
+            signatures is not None
+            and self.config.signature_filtering
+            and not signatures.likely_cached_by_members(item)
+        ):
+            self.metrics.record_search(bypassed=True)
+            return None
+        self.metrics.record_search(bypassed=False)
+
+        self._search_seq += 1
+        sid = (self.index, self._search_seq)
+        update: Optional[Tuple[List[int], List[int]]] = None
+        size = self.sizes.request
+        if signatures is not None:
+            update = signatures.take_update()
+            size += (len(update[0]) + len(update[1])) * _POSITION_BYTES
+        state = _SearchState(
+            item=item, started=self.env.now, reply_event=self.env.event()
+        )
+        self._searches[sid] = state
+        message = Message(
+            kind=MessageKind.REQUEST,
+            src=self.index,
+            dst=None,
+            size=size,
+            payload={"search": sid, "item": item, "origin": self.index, "update": update},
+            created_at=self.env.now,
+            hops_left=self.config.hop_dist - 1,
+            path=[self.index],
+        )
+        self.env.process(self._broadcast(message, size - self.sizes.request))
+
+        tau = self.timeout.current()
+        fired = yield self.env.any_of([state.reply_event, self.env.timeout(tau)])
+        if state.reply_event not in fired:
+            self._finish_search(sid)
+            return None
+        reply = state.reply_event.value
+        self.timeout.observe(self.env.now - state.started)
+        data = yield from self._retrieve(sid, state, reply)
+        self._finish_search(sid)
+        if data is None:
+            return None
+        from_tcg = (
+            signatures is not None and reply["peer"] in signatures.members
+        )
+        return data, from_tcg
+
+    def _retrieve(self, sid, state: _SearchState, reply: dict):
+        """Send retrieve to the target peer and await the data item."""
+        state.data_event = self.env.event()
+        path = reply["path"]  # origin ... peer
+        message = Message(
+            kind=MessageKind.RETRIEVE,
+            src=self.index,
+            dst=reply["peer"],
+            size=self.sizes.retrieve,
+            payload={"search": sid, "item": state.item, "path": list(path)},
+            created_at=self.env.now,
+        )
+        if len(path) < 2:
+            return None
+        sent = yield from self.network.unicast_route(list(path), message)
+        if not sent:
+            return None
+        hops = len(path) - 1
+        guard = 4.0 * hops * self.network.tx_time(self.sizes.data_message())
+        guard += self.timeout.current()
+        fired = yield self.env.any_of([state.data_event, self.env.timeout(guard)])
+        if state.data_event not in fired:
+            return None
+        return state.data_event.value
+
+    def _finish_search(self, sid) -> None:
+        state = self._searches.pop(sid, None)
+        if state is not None:
+            state.finished = True
+
+    def _broadcast(self, message: Message, signature_bytes: int = 0):
+        yield from self.network.broadcast(
+            self.index, message, signature_bytes=signature_bytes
+        )
+
+    # ------------------------------------------------------------ message handling
+
+    def on_message(self, message: Message) -> None:
+        """Receive callback; cheap state updates, network work is spawned."""
+        kind = message.kind
+        if kind is MessageKind.REQUEST:
+            self._on_request(message)
+        elif kind is MessageKind.REPLY:
+            self._on_reply(message)
+        elif kind is MessageKind.RETRIEVE:
+            self._on_retrieve(message)
+        elif kind is MessageKind.DATA:
+            self._on_data(message)
+        elif kind is MessageKind.SIG_REQUEST:
+            self._on_sig_request(message)
+        elif kind is MessageKind.SIG_REPLY:
+            self._on_sig_reply(message)
+
+    def _on_request(self, message: Message) -> None:
+        payload = message.payload
+        origin, seq = payload["search"]
+        if origin == self.index:
+            return
+        signatures = self.signatures
+        if signatures is not None:
+            if payload["update"] is not None and origin in signatures.members:
+                signatures.apply_peer_update(*payload["update"])
+            if signatures.notice_peer_alive(origin):
+                self.env.process(self._send_sig_request(origin))
+        if self._seen_search.get(origin, -1) >= seq:
+            return
+        self._seen_search[origin] = seq
+        item = payload["item"]
+        entry = self.cache.get(item)
+        if entry is not None and entry.is_valid(self.env.now):
+            self.env.process(self._send_reply(message, entry))
+        elif message.hops_left > 0:
+            forward = Message(
+                kind=MessageKind.REQUEST,
+                src=self.index,
+                dst=None,
+                size=message.size,
+                payload=payload,
+                created_at=message.created_at,
+                hops_left=message.hops_left - 1,
+                path=message.path + [self.index],
+            )
+            self.env.process(
+                self._broadcast(forward, message.size - self.sizes.request)
+            )
+
+    def _send_reply(self, request: Message, entry: CacheEntry):
+        """Turn in a REPLY along the reverse of the request's path."""
+        route = list(reversed(request.path + [self.index]))
+        message = Message(
+            kind=MessageKind.REPLY,
+            src=self.index,
+            dst=route[-1],
+            size=self.sizes.reply,
+            payload={
+                "search": request.payload["search"],
+                "peer": self.index,
+                "path": request.path + [self.index],
+                "expiry": entry.expiry,
+                "retrieve_time": entry.retrieve_time,
+                "version": entry.version,
+            },
+            created_at=self.env.now,
+        )
+        yield from self.network.unicast_route(route, message)
+
+    def _on_reply(self, message: Message) -> None:
+        sid = message.payload["search"]
+        state = self._searches.get(sid)
+        if state is None or state.finished:
+            return
+        state.replies.append(message.payload)
+        if not state.reply_event.triggered:
+            state.reply_event.succeed(message.payload)
+
+    def _on_retrieve(self, message: Message) -> None:
+        self.env.process(self._serve_retrieve(message))
+
+    def _serve_retrieve(self, message: Message):
+        payload = message.payload
+        item = payload["item"]
+        entry = self.cache.get(item)
+        if entry is None or not entry.is_valid(self.env.now):
+            return  # evicted/expired since the reply; requester times out
+        path = payload["path"]  # origin ... me
+        data = Message(
+            kind=MessageKind.DATA,
+            src=self.index,
+            dst=path[0],
+            size=self.sizes.data_message(),
+            payload={
+                "search": payload["search"],
+                "item": item,
+                "expiry": entry.expiry,
+                "retrieve_time": entry.retrieve_time,
+                "version": entry.version,
+            },
+            created_at=self.env.now,
+        )
+        requester = path[0]
+        delivered = yield from self.network.unicast_route(
+            list(reversed(path)), data
+        )
+        if delivered and self.signatures is not None:
+            if requester in self.signatures.members and item in self.cache:
+                # Section IV-E: serving a TCG member refreshes the copy.
+                self.cache.touch(item, self.env.now)
+                if self.replacement is not None:
+                    self.replacement.note_access(self.cache.get(item))
+
+    def _on_data(self, message: Message) -> None:
+        sid = message.payload["search"]
+        state = self._searches.get(sid)
+        if state is None or state.finished or state.data_event is None:
+            return
+        if not state.data_event.triggered:
+            state.data_event.succeed(message.payload)
+
+    # ----------------------------------------------------------- signature traffic
+
+    def _send_sig_request(self, peer: int, members: Optional[Set[int]] = None):
+        """Direct (unicast) or membership-scoped broadcast SigRequest."""
+        if members is None:
+            message = Message(
+                kind=MessageKind.SIG_REQUEST,
+                src=self.index,
+                dst=peer,
+                size=self.sizes.sig_request,
+                payload={"from": self.index, "members": None},
+                created_at=self.env.now,
+            )
+            yield from self.network.unicast(
+                self.index, peer, message, purpose="signature"
+            )
+        else:
+            message = Message(
+                kind=MessageKind.SIG_REQUEST,
+                src=self.index,
+                dst=None,
+                size=self.sizes.sig_request
+                + len(members) * self.sizes.membership_entry,
+                payload={"from": self.index, "members": set(members)},
+                created_at=self.env.now,
+            )
+            yield from self.network.broadcast(
+                self.index, message, purpose="signature"
+            )
+
+    def _on_sig_request(self, message: Message) -> None:
+        if self.signatures is None:
+            return
+        payload = message.payload
+        members = payload["members"]
+        if members is not None and self.index not in members:
+            return  # broadcast recollection for somebody else's TCG
+        self.env.process(self._send_sig_reply(payload["from"]))
+
+    def _send_sig_reply(self, requester: int):
+        bits, wire_bytes, _compressed = self.signatures.full_signature_payload(
+            len(self.cache)
+        )
+        message = Message(
+            kind=MessageKind.SIG_REPLY,
+            src=self.index,
+            dst=requester,
+            size=self.sizes.sig_reply(wire_bytes),
+            payload={"from": self.index, "bits": bits},
+            created_at=self.env.now,
+        )
+        yield from self.network.unicast(
+            self.index, requester, message, purpose="signature"
+        )
+
+    def _on_sig_reply(self, message: Message) -> None:
+        if self.signatures is None:
+            return
+        payload = message.payload
+        if payload["from"] not in self.signatures.members:
+            return  # departed while the reply was in flight
+        self.signatures.merge_member_signature(payload["from"], payload["bits"])
+
+    def _apply_membership_changes(self, added: Set[int], removed: Set[int]) -> None:
+        if self.signatures is None or (not added and not removed):
+            return
+        actions = self.signatures.apply_membership_changes(added, removed)
+        self._execute_membership_actions(actions)
+
+    def _execute_membership_actions(self, actions: MembershipActions) -> None:
+        if actions.recollect and self.signatures.members:
+            self.env.process(
+                self._send_sig_request(-1, members=set(self.signatures.members))
+            )
+        for peer in actions.request_from:
+            self.env.process(self._send_sig_request(peer))
+
+    # -------------------------------------------------------------- MSS interaction
+
+    def _fetch_from_server(self, item: int, start: float):
+        """Cache-miss fallback: pull the item over the shared channels."""
+        yield from self.channel.send_uplink(self.sizes.server_request)
+        reply = self.server.handle_data_request(
+            self.index, item, self.position()
+        )
+        self.last_server_contact = self.env.now
+        yield from self.channel.send_downlink(
+            self.sizes.server_reply(reply.membership_changes)
+        )
+        entry = CacheEntry(
+            item=item,
+            expiry=reply.expiry,
+            retrieve_time=reply.retrieve_time,
+            version=reply.version,
+            singlet_ttl=(
+                self.replacement.new_entry_ttl() if self.replacement else 0
+            ),
+        )
+        self._admit(entry)
+        self._apply_membership_changes(reply.added, reply.removed)
+        self.metrics.record_request(
+            self.index, RequestOutcome.SERVER, self.env.now - start, now=self.env.now
+        )
+
+    def _validate_with_server(self, item: int, entry: CacheEntry, start: float):
+        """Section IV-F: consult the MSS about an expired copy."""
+        yield from self.channel.send_uplink(self.sizes.validate)
+        reply = self.server.handle_validation(
+            self.index, item, entry.retrieve_time, self.position()
+        )
+        self.last_server_contact = self.env.now
+        if reply.refreshed:
+            yield from self.channel.send_downlink(
+                self.sizes.server_reply(reply.membership_changes)
+            )
+        else:
+            yield from self.channel.send_downlink(
+                self.sizes.validate_ok
+                + reply.membership_changes * self.sizes.membership_entry
+            )
+        entry.expiry = reply.expiry
+        entry.retrieve_time = reply.retrieve_time
+        entry.version = reply.version
+        self._note_local_access(item, entry)
+        self._apply_membership_changes(reply.added, reply.removed)
+        self.metrics.record_validation(refreshed=reply.refreshed)
+        outcome = (
+            RequestOutcome.SERVER if reply.refreshed else RequestOutcome.LOCAL_HIT
+        )
+        self.metrics.record_request(
+            self.index, outcome, self.env.now - start, now=self.env.now
+        )
+
+    def _explicit_update_loop(self):
+        """Section IV-B: report location and peer-access history when idle."""
+        period = self.config.explicit_update_period
+        while True:
+            yield self.env.timeout(period)
+            if not self.connected:
+                continue
+            if self.env.now - self.last_server_contact < period:
+                continue
+            history = self._take_history_portion()
+            yield from self.channel.send_uplink(
+                self.sizes.explicit_update_base + len(history) * 4
+            )
+            added, removed = self.server.handle_explicit_update(
+                self.index, self.position(), history
+            )
+            self.last_server_contact = self.env.now
+            yield from self.channel.send_downlink(
+                self.sizes.validate_ok
+                + (len(added) + len(removed)) * self.sizes.membership_entry
+            )
+            self._apply_membership_changes(added, removed)
+
+    def _take_history_portion(self) -> List[int]:
+        portion = self.config.explicit_update_portion
+        history = self._peer_history
+        if not history or portion <= 0:
+            self._peer_history = []
+            return []
+        count = max(1, int(round(len(history) * portion)))
+        chosen = list(
+            self.rng.choice(len(history), size=min(count, len(history)), replace=False)
+        )
+        report = [history[i] for i in chosen]
+        self._peer_history = []
+        return report
+
+    # ------------------------------------------------------------------- admission
+
+    def _admit(self, entry: CacheEntry) -> None:
+        """Cache a server-supplied (or refreshed) copy."""
+        if entry.item in self.cache or not self.cache.is_full:
+            self._insert(entry)
+            return
+        self._insert_with_replacement(entry)
+
+    def _admit_from_peer(self, reply: dict, from_tcg: bool) -> None:
+        """Section IV-E admission control for peer-supplied items."""
+        entry = CacheEntry(
+            item=reply["item"],
+            expiry=reply["expiry"],
+            retrieve_time=reply["retrieve_time"],
+            version=reply["version"],
+            singlet_ttl=(
+                self.replacement.new_entry_ttl() if self.replacement else 0
+            ),
+        )
+        if entry.item in self.cache or not self.cache.is_full:
+            self._insert(entry)
+            return
+        if not self.admission.should_cache(cache_full=True, from_tcg_member=from_tcg):
+            return
+        self._insert_with_replacement(entry)
+
+    def _insert(self, entry: CacheEntry) -> None:
+        new_item = entry.item not in self.cache
+        evicted = self.cache.insert(entry, self.env.now)
+        if self.signatures is not None:
+            if evicted is not None:
+                self.signatures.record_evict(evicted.item, self.cache.items())
+            if new_item:
+                self.signatures.record_insert(entry.item)
+
+    def _insert_with_replacement(self, entry: CacheEntry) -> None:
+        """Full cache: evict the cooperative-replacement victim, then insert."""
+        if self.replacement is not None:
+            victim = self.replacement.select_victim()
+            if victim is not None:
+                self.cache.evict(victim.item)
+                self.signatures.record_evict(victim.item, self.cache.items())
+        self._insert(entry)
+
+    # ---------------------------------------------------------------- disconnection
+
+    def _disconnect_cycle(self):
+        """Go offline for DiscTime, then run the reconnection protocol."""
+        self.disconnections += 1
+        self.connected = False
+        self.network.set_connected(self.index, False)
+        if self.ndp is not None:
+            self.ndp.forget(self.index)
+        duration = self.rng.uniform(self.config.disc_min, self.config.disc_max)
+        yield self.env.timeout(duration)
+        self.connected = True
+        self.network.set_connected(self.index, True)
+        if self.signatures is not None:
+            yield from self._reconnect_protocol()
+
+    def _reconnect_protocol(self):
+        """Section IV-D.5: membership sync + signature recollection."""
+        yield from self.channel.send_uplink(self.sizes.membership_sync)
+        members = self.server.handle_membership_sync(self.index)
+        self.last_server_contact = self.env.now
+        yield from self.channel.send_downlink(
+            self.sizes.membership_sync
+            + len(members) * self.sizes.membership_entry
+        )
+        actions = self.signatures.reconnect_sync(members)
+        self._execute_membership_actions(actions)

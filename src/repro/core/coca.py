@@ -1,0 +1,73 @@
+"""COCA protocol helpers (Section III).
+
+The COCA search protocol broadcasts a ``request`` to peers within
+``HopDist`` hops and takes the first ``reply`` as the target peer.  If no
+reply arrives within the timeout τ the client falls back to the MSS.
+
+τ is adaptive: it starts at the round-trip estimate for a search at the
+maximal hop distance scaled by the congestion factor φ,
+
+    τ₀ = HopDist · (|request| + |reply|) / BW_P2P · φ,
+
+and thereafter tracks the observed search round-trips as ``τ = τ̄ + φ'·σ_τ``
+with τ̄/σ_τ maintained incrementally (Welford / Knuth TAOCP vol. 2).
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import WelfordAccumulator
+
+__all__ = ["AdaptiveTimeout", "initial_timeout"]
+
+
+def initial_timeout(
+    hop_dist: int,
+    request_bytes: int,
+    reply_bytes: int,
+    bw_p2p_bps: float,
+    congestion_phi: float,
+) -> float:
+    """τ₀ of Section III."""
+    if hop_dist < 1:
+        raise ValueError("hop_dist must be >= 1")
+    if bw_p2p_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    round_trip = (request_bytes + reply_bytes) * 8.0 / bw_p2p_bps
+    return hop_dist * round_trip * congestion_phi
+
+
+class AdaptiveTimeout:
+    """τ = τ̄ + φ'·σ_τ over observed peer-search round-trips."""
+
+    def __init__(self, initial: float, deviation_phi: float):
+        if initial <= 0:
+            raise ValueError("initial timeout must be positive")
+        if deviation_phi < 0:
+            raise ValueError("deviation_phi must be >= 0")
+        self.initial = float(initial)
+        self.deviation_phi = float(deviation_phi)
+        self._samples = WelfordAccumulator()
+
+    def observe(self, round_trip: float) -> None:
+        """Record the duration from broadcast to first reply."""
+        if round_trip < 0:
+            raise ValueError("round trip cannot be negative")
+        self._samples.add(round_trip)
+
+    def current(self) -> float:
+        """The timeout to use for the next peer search.
+
+        Floored at the initial τ₀: with few samples the deviation term can
+        collapse to zero and pin τ below any feasible round trip, after
+        which every search times out and no further samples ever arrive —
+        a one-sample deadlock the floor removes.  Congestion still adapts
+        the timeout upward exactly as in the paper.
+        """
+        if self._samples.count == 0:
+            return self.initial
+        adaptive = self._samples.mean + self.deviation_phi * self._samples.stddev
+        return max(adaptive, self.initial)
+
+    @property
+    def sample_count(self) -> int:
+        return self._samples.count

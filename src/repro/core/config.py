@@ -1,0 +1,160 @@
+"""Simulation parameters (the paper's Table II) and scheme selection.
+
+Default values follow Table II where the OCR of the source text is legible
+and the reconstruction table in DESIGN.md otherwise.  Everything is a plain
+dataclass field so experiments override parameters with
+``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["CachingScheme", "SimulationConfig"]
+
+
+class CachingScheme(Enum):
+    """The three schemes compared in Section VI."""
+
+    LC = "LC"  # conventional caching: no peer cooperation
+    CC = "CC"  # standard COCA
+    GC = "GC"  # GroCoCa
+
+    @property
+    def cooperative(self) -> bool:
+        return self is not CachingScheme.LC
+
+    @property
+    def group_based(self) -> bool:
+        return self is CachingScheme.GC
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to reproduce one simulated experiment."""
+
+    # -- scheme under test -------------------------------------------------------
+    scheme: CachingScheme = CachingScheme.GC
+
+    # -- population and data (Table II) ------------------------------------------
+    n_clients: int = 100
+    n_data: int = 10_000
+    data_size: int = 3072  # bytes (DataSize = 3 KB)
+    cache_size: int = 100  # items
+    access_range: int = 1000  # items per motion group
+    theta: float = 0.5  # Zipf skewness
+    data_update_rate: float = 0.0  # items / second across the database
+
+    # -- geometry and mobility ----------------------------------------------------
+    area_width: float = 1000.0  # metres
+    area_height: float = 1000.0
+    tran_range: float = 100.0  # P2P transmission range (TranRange)
+    group_size: int = 5  # MHs per motion group (GroupSize)
+    group_span: float = 50.0  # RPGM offset radius
+    v_min: float = 1.0  # m/s
+    v_max: float = 5.0
+    pause_time: float = 1.0  # seconds
+    position_resolution: float = 0.1  # snapshot quantum (s); 0 = exact
+
+    # -- channels -------------------------------------------------------------------
+    bw_downlink: float = 2_500_000.0  # bits/s (BW_server downlink)
+    bw_uplink: float = 200_000.0  # bits/s (BW_server uplink)
+    bw_p2p: float = 2_000_000.0  # bits/s (BW_P2P)
+    hop_dist: int = 2  # HopDist: P2P search depth
+
+    # -- workload -----------------------------------------------------------------------
+    think_time_mean: float = 1.0  # exp interarrival between accesses
+
+    # -- disconnection --------------------------------------------------------------------
+    # DiscTime is drawn per disconnection; with ~1 request/second a client
+    # disconnects every 1/p_disc requests, so these 1-5 s bounds (Table II)
+    # yield offline fractions of ~10-45% across the Fig. 8 sweep.
+    p_disc: float = 0.0
+    disc_min: float = 1.0  # seconds (DiscTime lower bound)
+    disc_max: float = 5.0
+
+    # -- COCA protocol ---------------------------------------------------------------------
+    congestion_phi: float = 2.0  # φ: initial timeout scale-up
+    deviation_phi: float = 3.0  # φ': stddev multiplier for adaptive timeout
+
+    # -- GroCoCa: TCG discovery -----------------------------------------------------------
+    distance_threshold: float = 100.0  # Δ
+    # δ: Section IV-B advises low thresholds because the MSS only samples
+    # the access pattern; sampled cosines converge as T·Σp² / (1 + T·Σp²)
+    # with T observed accesses, so 0.1 lets TCGs form for every Fig. 4
+    # access range within the run lengths used here.
+    similarity_threshold: float = 0.1
+    omega: float = 0.5  # ω: EWMA weight for weighted average distance
+    alpha: float = 0.5  # α: EWMA weight for data update intervals
+    explicit_update_period: float = 30.0  # τ_P
+    explicit_update_portion: float = 0.25  # ρ_P
+
+    # -- GroCoCa: signatures ------------------------------------------------------------------
+    signature_bits: int = 10_000  # σ
+    signature_hashes: int = 2  # k
+    counter_bits: int = 4  # π_c (own-cache counting bloom filter)
+    recollect_batch: int = 1  # departures tolerated before recollection
+
+    # -- GroCoCa: cooperative cache management ----------------------------------------------------
+    replace_candidate: int = 10  # ReplaceCandidate
+    replace_delay: int = 2  # ReplaceDelay (SingletTTL initial value)
+    admission_control: bool = True  # ablation A1
+    cooperative_replacement: bool = True  # ablation A2
+    signature_filtering: bool = True  # ablation A4
+    signature_compression: bool = True  # ablation A3
+
+    # -- NDP ---------------------------------------------------------------------------------------
+    ndp_enabled: bool = True
+    beacon_interval: float = 1.0
+    beacon_miss_limit: int = 3
+
+    # -- consistency ----------------------------------------------------------------------------------
+    examine_interval: float = 30.0  # idle-item EWMA examination period
+
+    # -- run control -------------------------------------------------------------------------------------
+    seed: int = 1
+    warmup_min_time: float = 300.0  # extra settling time (TCG formation)
+    warmup_max_time: float = 600.0  # give up waiting for full caches here
+    measure_requests: int = 200  # per-client requests beyond warmup
+    max_sim_time: float = 20_000.0  # hard stop (simulated seconds)
+    count_beacon_power: bool = False  # include NDP beacons in power/GCH
+    trace_requests: bool = False  # keep per-request traces (percentiles)
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if not 1 <= self.access_range <= self.n_data:
+            raise ValueError("access_range must be in [1, n_data]")
+        if self.hop_dist < 1:
+            raise ValueError("hop_dist must be >= 1")
+        if not 0.0 <= self.p_disc <= 1.0:
+            raise ValueError("p_disc must be a probability")
+        if self.disc_min > self.disc_max:
+            raise ValueError("disc_min must be <= disc_max")
+        if not 0.0 <= self.omega <= 1.0:
+            raise ValueError("omega must be in [0, 1]")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= self.explicit_update_portion <= 1.0:
+            raise ValueError("explicit_update_portion must be in [0, 1]")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.replace_candidate < 1:
+            raise ValueError("replace_candidate must be >= 1")
+        if self.replace_delay < 1:
+            raise ValueError("replace_delay must be >= 1")
+        if self.measure_requests < 1:
+            raise ValueError("measure_requests must be >= 1")
+
+    def with_scheme(self, scheme: CachingScheme) -> "SimulationConfig":
+        """A copy of this config running a different scheme."""
+        return dataclasses.replace(self, scheme=scheme)
+
+    def replace(self, **overrides) -> "SimulationConfig":
+        """A copy with the given fields overridden."""
+        return dataclasses.replace(self, **overrides)

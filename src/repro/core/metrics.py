@@ -1,0 +1,259 @@
+"""Metrics in the paper's reporting vocabulary.
+
+The four request outcomes of Section III (local cache hit, global cache
+hit, server request, access failure) plus access latency and the power
+ledger give every series the evaluation section plots:
+
+* access latency (s),
+* server request ratio (%),
+* global / local cache hit ratios (%),
+* power consumption per global cache hit (µW·s).
+
+Recording begins only after warm-up (``start_recording``); power is taken
+as the ledger delta over the recording window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.power import PowerLedger
+from repro.sim.stats import WelfordAccumulator
+
+__all__ = ["Metrics", "RequestOutcome", "RequestTrace", "Results"]
+
+
+class RequestOutcome(Enum):
+    """Section III's four outcomes of a client request."""
+
+    LOCAL_HIT = auto()
+    GLOBAL_HIT = auto()
+    SERVER = auto()
+    FAILURE = auto()
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One traced request (recorded when tracing is enabled)."""
+
+    time: float
+    client: int
+    outcome: RequestOutcome
+    latency: float
+    from_tcg: bool
+
+
+@dataclass
+class Results:
+    """One simulated experiment's summary (one point of a paper figure)."""
+
+    scheme: str
+    requests: int
+    local_hits: int
+    global_hits: int
+    global_hits_tcg: int
+    server_requests: int
+    failures: int
+    access_latency: float
+    latency_stddev: float
+    power_data: float
+    power_signature: float
+    power_beacon: float
+    power_per_gch: float
+    validations: int
+    validation_refreshes: int
+    bypassed_searches: int
+    peer_searches: int
+    measured_time: float
+    sim_time: float
+    #: per-outcome (count, mean latency) pairs, keyed by outcome name
+    latency_by_outcome: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def lch_ratio(self) -> float:
+        """% of requests answered from the local cache."""
+        return 100.0 * self.local_hits / self.requests if self.requests else 0.0
+
+    @property
+    def gch_ratio(self) -> float:
+        """% of requests answered by peers."""
+        return 100.0 * self.global_hits / self.requests if self.requests else 0.0
+
+    @property
+    def server_request_ratio(self) -> float:
+        """% of requests that had to be served by the MSS."""
+        return 100.0 * self.server_requests / self.requests if self.requests else 0.0
+
+    @property
+    def failure_ratio(self) -> float:
+        return 100.0 * self.failures / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scheme": self.scheme,
+            "requests": self.requests,
+            "access_latency": self.access_latency,
+            "server_request_ratio": self.server_request_ratio,
+            "gch_ratio": self.gch_ratio,
+            "lch_ratio": self.lch_ratio,
+            "power_per_gch": self.power_per_gch,
+            "failure_ratio": self.failure_ratio,
+        }
+
+
+class Metrics:
+    """Accumulates outcomes; produces :class:`Results`.
+
+    With ``trace=True`` every recorded request is also kept as a
+    :class:`RequestTrace`, enabling percentile analysis and per-client
+    timelines at the cost of memory proportional to the request count.
+    """
+
+    def __init__(self, scheme: str, trace: bool = False):
+        self.scheme = scheme
+        self.trace = trace
+        self.traces: List[RequestTrace] = []
+        self.recording = False
+        self.requests = 0
+        self.outcomes: Dict[RequestOutcome, int] = {o: 0 for o in RequestOutcome}
+        self.global_hits_tcg = 0
+        self.validations = 0
+        self.validation_refreshes = 0
+        self.bypassed_searches = 0
+        self.peer_searches = 0
+        self.latency = WelfordAccumulator()
+        self.latency_by_outcome: Dict[RequestOutcome, WelfordAccumulator] = {
+            o: WelfordAccumulator() for o in RequestOutcome
+        }
+        self.per_client_requests: Optional[list] = None
+        self._record_start_time = 0.0
+        self._power_baseline: Dict[str, float] = {}
+
+    def start_recording(
+        self, now: float, ledger: PowerLedger, n_clients: int
+    ) -> None:
+        """End of warm-up: zero every counter and snapshot the ledger."""
+        self.recording = True
+        self._record_start_time = now
+        self._power_baseline = ledger.by_purpose()
+        self.per_client_requests = [0] * n_clients
+
+    def record_request(
+        self,
+        client: int,
+        outcome: RequestOutcome,
+        latency: float,
+        from_tcg: bool = False,
+        now: float = math.nan,
+    ) -> None:
+        if not self.recording:
+            return
+        self.requests += 1
+        self.outcomes[outcome] += 1
+        if outcome is RequestOutcome.GLOBAL_HIT and from_tcg:
+            self.global_hits_tcg += 1
+        self.latency.add(latency)
+        self.latency_by_outcome[outcome].add(latency)
+        if self.per_client_requests is not None:
+            self.per_client_requests[client] += 1
+        if self.trace:
+            self.traces.append(
+                RequestTrace(
+                    time=now,
+                    client=client,
+                    outcome=outcome,
+                    latency=latency,
+                    from_tcg=from_tcg,
+                )
+            )
+
+    def latency_percentiles(
+        self,
+        percentiles: Sequence[float] = (50.0, 90.0, 99.0),
+        outcome: Optional[RequestOutcome] = None,
+    ) -> Dict[float, float]:
+        """Latency percentiles from the trace (requires ``trace=True``)."""
+        if not self.trace:
+            raise RuntimeError("latency_percentiles requires tracing enabled")
+        values = [
+            t.latency
+            for t in self.traces
+            if outcome is None or t.outcome is outcome
+        ]
+        if not values:
+            return {p: math.nan for p in percentiles}
+        points = np.percentile(values, list(percentiles))
+        return dict(zip(percentiles, (float(v) for v in points)))
+
+    def client_timeline(self, client: int) -> List[RequestTrace]:
+        """All traced requests of one client, in time order."""
+        if not self.trace:
+            raise RuntimeError("client_timeline requires tracing enabled")
+        return [t for t in self.traces if t.client == client]
+
+    def record_validation(self, refreshed: bool) -> None:
+        if not self.recording:
+            return
+        self.validations += 1
+        if refreshed:
+            self.validation_refreshes += 1
+
+    def record_search(self, bypassed: bool) -> None:
+        if not self.recording:
+            return
+        if bypassed:
+            self.bypassed_searches += 1
+        else:
+            self.peer_searches += 1
+
+    def min_client_requests(self) -> int:
+        if not self.per_client_requests:
+            return 0
+        return min(self.per_client_requests)
+
+    def results(
+        self,
+        now: float,
+        ledger: PowerLedger,
+        count_beacon_power: bool = False,
+    ) -> Results:
+        by_purpose = ledger.by_purpose()
+        baseline = self._power_baseline or {key: 0.0 for key in by_purpose}
+        power = {key: by_purpose[key] - baseline.get(key, 0.0) for key in by_purpose}
+        gch = self.outcomes[RequestOutcome.GLOBAL_HIT]
+        counted = power["data"] + power["signature"]
+        if count_beacon_power:
+            counted += power["beacon"]
+        power_per_gch = counted / gch if gch else math.inf
+        per_outcome = {
+            outcome.name: (acc.count, acc.mean)
+            for outcome, acc in self.latency_by_outcome.items()
+            if acc.count
+        }
+        return Results(
+            scheme=self.scheme,
+            requests=self.requests,
+            local_hits=self.outcomes[RequestOutcome.LOCAL_HIT],
+            global_hits=gch,
+            global_hits_tcg=self.global_hits_tcg,
+            server_requests=self.outcomes[RequestOutcome.SERVER],
+            failures=self.outcomes[RequestOutcome.FAILURE],
+            access_latency=self.latency.mean,
+            latency_stddev=self.latency.stddev,
+            power_data=power["data"],
+            power_signature=power["signature"],
+            power_beacon=power["beacon"],
+            power_per_gch=power_per_gch,
+            validations=self.validations,
+            validation_refreshes=self.validation_refreshes,
+            bypassed_searches=self.bypassed_searches,
+            peer_searches=self.peer_searches,
+            measured_time=now - self._record_start_time,
+            sim_time=now,
+            latency_by_outcome=per_outcome,
+        )

@@ -1,0 +1,92 @@
+"""GroCoCa cooperative cache replacement (Section IV-E).
+
+The protocol satisfies the paper's three desirable properties:
+
+1. the most valuable items stay in the local cache — only the
+   ``ReplaceCandidate`` least-recently-used entries are eviction candidates;
+2. an item unaccessed for a long time is eventually replaced — the
+   ``SingletTTL`` counter drops a replica-less item after ``ReplaceDelay``
+   spared replacements;
+3. replicated items go first — a candidate whose data signature is covered
+   by the peer signature is likely duplicated in the TCG and is evicted in
+   preference, enlarging the aggregate cache.
+
+The victim search walks candidates from least valuable upward, evicting the
+first likely-replica.  When the least valuable entry is spared this way its
+SingletTTL is decremented; at zero the entry is simply dropped.  A TCG (or
+local) access resets the counter to ``ReplaceDelay``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.lru import CacheEntry, LRUCache
+from repro.signatures.bloom import SignatureScheme
+from repro.signatures.peer import PeerSignature
+
+__all__ = ["CooperativeReplacement"]
+
+
+class CooperativeReplacement:
+    """Victim selection against the TCG peer signature."""
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        cache: LRUCache,
+        peer_signature: PeerSignature,
+        replace_candidate: int,
+        replace_delay: int,
+        enabled: bool = True,
+    ):
+        if replace_candidate < 1:
+            raise ValueError("replace_candidate must be >= 1")
+        if replace_delay < 1:
+            raise ValueError("replace_delay must be >= 1")
+        self.scheme = scheme
+        self.cache = cache
+        self.peer_signature = peer_signature
+        self.replace_candidate = int(replace_candidate)
+        self.replace_delay = int(replace_delay)
+        self.enabled = enabled
+        self.replica_evictions = 0
+        self.lru_evictions = 0
+        self.singlet_drops = 0
+
+    def new_entry_ttl(self) -> int:
+        """Initial SingletTTL for a freshly inserted entry."""
+        return self.replace_delay
+
+    def note_access(self, entry: CacheEntry) -> None:
+        """A local or TCG access resets the entry's SingletTTL."""
+        entry.singlet_ttl = self.replace_delay
+
+    def select_victim(self) -> Optional[CacheEntry]:
+        """Choose the entry to evict to make room for one insertion.
+
+        Returns None only when the cache is empty.
+        """
+        if not len(self.cache):
+            return None
+        if not self.enabled:
+            self.lru_evictions += 1
+            return self.cache.lru_entries(1)[0]
+        candidates = self.cache.lru_entries(self.replace_candidate)
+        least = candidates[0]
+        for entry in candidates:
+            positions = self.scheme.positions(entry.item)
+            if self.peer_signature.matches_positions(positions):
+                if entry is least:
+                    self.replica_evictions += 1
+                    return least
+                # The least valuable item is spared because it has no
+                # replica: age it, and drop it outright once stale.
+                least.singlet_ttl -= 1
+                if least.singlet_ttl <= 0:
+                    self.singlet_drops += 1
+                    return least
+                self.replica_evictions += 1
+                return entry
+        self.lru_evictions += 1
+        return least

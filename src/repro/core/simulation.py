@@ -1,0 +1,179 @@
+"""Experiment wiring: build a configured system and run it to completion.
+
+The run protocol follows Section VI: simulate until the system is in a
+stable state (every client cache is full, capped by ``warmup_max_time``),
+then start recording and keep going until every client has completed at
+least ``measure_requests`` further requests (capped by ``max_sim_time``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.client import MobileHost
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Metrics, Results
+from repro.core.server import MobileSupportStation
+from repro.core.tcg import TCGManager
+from repro.data.server_db import ServerDatabase
+from repro.data.workload import build_access_patterns
+from repro.mobility.field import build_group_mobility
+from repro.mobility.geometry import Rectangle
+from repro.net.channel import ServerChannel
+from repro.net.message import MessageSizes
+from repro.net.ndp import NeighborDiscovery
+from repro.net.p2p import P2PNetwork
+from repro.net.power import PowerLedger
+from repro.sim.kernel import Environment
+from repro.sim.random import RandomStreams
+from repro.signatures.bloom import SignatureScheme
+
+__all__ = ["Simulation", "run_simulation"]
+
+#: Simulated seconds between termination-condition checks.
+_CHUNK = 10.0
+
+
+class Simulation:
+    """One fully wired simulated mobile environment."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.metrics = Metrics(config.scheme.value, trace=config.trace_requests)
+
+        area = Rectangle(config.area_width, config.area_height)
+        self.field, self.group_of = build_group_mobility(
+            self.streams.stream("mobility"),
+            config.n_clients,
+            config.group_size,
+            area,
+            config.v_min,
+            config.v_max,
+            pause_time=config.pause_time,
+            group_span=config.group_span,
+            resolution=config.position_resolution,
+        )
+        self.ledger = PowerLedger(config.n_clients)
+        self.network = P2PNetwork(
+            self.env,
+            self.field,
+            config.bw_p2p,
+            config.tran_range,
+            self.ledger,
+        )
+        self.channel = ServerChannel(
+            self.env, config.bw_downlink, config.bw_uplink
+        )
+        self.database = ServerDatabase(
+            self.env,
+            self.streams.stream("updates"),
+            config.n_data,
+            update_rate=config.data_update_rate,
+            alpha=config.alpha,
+            examine_interval=config.examine_interval,
+        )
+        self.tcg: Optional[TCGManager] = None
+        self.signature_scheme: Optional[SignatureScheme] = None
+        if config.scheme is CachingScheme.GC:
+            self.tcg = TCGManager(
+                config.n_clients,
+                config.n_data,
+                config.distance_threshold,
+                config.similarity_threshold,
+                config.omega,
+            )
+            self.signature_scheme = SignatureScheme(
+                self.streams.stream("hash"),
+                config.signature_bits,
+                config.signature_hashes,
+            )
+        self.server = MobileSupportStation(
+            self.env, config, self.database, tcg=self.tcg
+        )
+        self.ndp: Optional[NeighborDiscovery] = None
+        if config.ndp_enabled:
+            self.ndp = NeighborDiscovery(
+                self.env,
+                self.network,
+                beacon_interval=config.beacon_interval,
+                miss_limit=config.beacon_miss_limit,
+            )
+        sizes = MessageSizes(data=config.data_size)
+        patterns = build_access_patterns(
+            self.streams.stream("workload"),
+            self.group_of,
+            config.n_data,
+            config.access_range,
+            config.theta,
+        )
+        self.clients: List[MobileHost] = [
+            MobileHost(
+                index,
+                self.env,
+                config,
+                self.network,
+                self.channel,
+                self.server,
+                patterns[index],
+                self.metrics,
+                self.streams.stream(f"client-{index}"),
+                sizes,
+                signature_scheme=self.signature_scheme,
+                ndp=self.ndp,
+            )
+            for index in range(config.n_clients)
+        ]
+
+    # -- run protocol -------------------------------------------------------------
+
+    def caches_full(self) -> bool:
+        return all(len(client.cache) >= self.config.cache_size for client in self.clients)
+
+    def warm_up(self) -> float:
+        """Run to a stable state: caches full (or the warm-up cap) and at
+        least ``warmup_min_time`` elapsed (TCG discovery and signature
+        collection settle during this window); returns now."""
+        while (
+            not self.caches_full() and self.env.now < self.config.warmup_max_time
+        ):
+            self.env.run(until=self.env.now + _CHUNK)
+        if self.env.now < self.config.warmup_min_time:
+            self.env.run(until=self.config.warmup_min_time)
+        return self.env.now
+
+    def measure(self) -> Results:
+        """Record until every client completed ``measure_requests`` requests."""
+        config = self.config
+        self.metrics.start_recording(self.env.now, self.ledger, config.n_clients)
+        while (
+            self.metrics.min_client_requests() < config.measure_requests
+            and self.env.now < config.max_sim_time
+        ):
+            self.env.run(until=self.env.now + _CHUNK)
+        return self.metrics.results(
+            self.env.now, self.ledger, count_beacon_power=config.count_beacon_power
+        )
+
+    def run(self) -> Results:
+        self.warm_up()
+        return self.measure()
+
+
+def run_simulation(config: SimulationConfig) -> Results:
+    """Build and run one experiment; the main public entry point."""
+    return Simulation(config).run()
+
+
+def compare_schemes(
+    config: SimulationConfig,
+    schemes: Optional[List[CachingScheme]] = None,
+) -> Dict[str, Results]:
+    """Run the same configuration under several schemes (same seed)."""
+    if schemes is None:
+        schemes = [CachingScheme.LC, CachingScheme.CC, CachingScheme.GC]
+    return {
+        scheme.value: run_simulation(config.with_scheme(scheme))
+        for scheme in schemes
+    }

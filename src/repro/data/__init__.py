@@ -1,0 +1,19 @@
+"""Workload and server-database substrate.
+
+* :mod:`repro.data.zipf` — Zipf(θ) rank sampling.
+* :mod:`repro.data.workload` — per-motion-group access ranges and the
+  client request stream (Section V-B).
+* :mod:`repro.data.server_db` — the MSS database with its random update
+  process and EWMA update-interval TTL model (Sections IV-F and V-C).
+"""
+
+from repro.data.server_db import ServerDatabase
+from repro.data.workload import AccessPattern, build_access_patterns
+from repro.data.zipf import ZipfGenerator
+
+__all__ = [
+    "AccessPattern",
+    "ServerDatabase",
+    "ZipfGenerator",
+    "build_access_patterns",
+]

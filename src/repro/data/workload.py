@@ -1,0 +1,82 @@
+"""Client access patterns (Section V-B).
+
+All members of a motion group share a common *access range*: a window of
+``AccessRange`` consecutive item identifiers starting at a random offset
+(wrapping around the database).  Within the window accesses follow a Zipf
+distribution; the hottest rank is the same item for every group member,
+which is what gives cooperative caching its payoff inside a group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.zipf import ZipfGenerator
+
+__all__ = ["AccessPattern", "build_access_patterns"]
+
+
+class AccessPattern:
+    """Zipf accesses over one group's window of the database."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_data: int,
+        access_range: int,
+        theta: float,
+        start: int,
+    ):
+        if not 1 <= access_range <= n_data:
+            raise ValueError(
+                f"access_range must be in [1, {n_data}], got {access_range}"
+            )
+        self.n_data = int(n_data)
+        self.access_range = int(access_range)
+        self.start = int(start) % self.n_data
+        self._zipf = ZipfGenerator(rng, self.access_range, theta)
+
+    @property
+    def theta(self) -> float:
+        return self._zipf.theta
+
+    def item_for_rank(self, rank: int) -> int:
+        """The item id holding the given popularity rank (0 = hottest)."""
+        if not 0 <= rank < self.access_range:
+            raise IndexError(rank)
+        return (self.start + rank) % self.n_data
+
+    def next_item(self) -> int:
+        """Draw the next requested item id."""
+        return self.item_for_rank(self._zipf.sample())
+
+    def covers(self, item: int) -> bool:
+        """Whether ``item`` lies inside this pattern's window."""
+        offset = (item - self.start) % self.n_data
+        return offset < self.access_range
+
+
+def build_access_patterns(
+    rng: np.random.Generator,
+    group_of: Sequence[int],
+    n_data: int,
+    access_range: int,
+    theta: float,
+) -> List[AccessPattern]:
+    """One pattern per client; clients of a group share start and ranking.
+
+    Each group's window start is drawn uniformly at random, per the paper's
+    note in Section VI-E ("the access range of each motion group is randomly
+    assigned").  Every member gets its own sampler (independent draws) over
+    the shared window.
+    """
+    group_start = {}
+    for group in group_of:
+        if group not in group_start:
+            group_start[group] = int(rng.integers(0, n_data))
+    return [
+        AccessPattern(rng, n_data, access_range, theta, group_start[group])
+        for group in group_of
+    ]

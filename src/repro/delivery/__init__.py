@@ -1,0 +1,35 @@
+"""Data dissemination models beyond pull (Section I of the paper).
+
+The paper motivates COCA against the *push-based* and *hybrid* data
+delivery models: broadcast channels scale to any number of clients but
+"suffer from longer access latency and higher power consumption, as they
+need to tune in to the broadcast and wait for the broadcast index or their
+desired items to appear".  This package makes that comparison concrete:
+
+* :mod:`repro.delivery.schedule` — a flat broadcast disk with (1, m)
+  air indexing (Imielinski et al.),
+* :mod:`repro.delivery.power` — tune/doze listening power,
+* :mod:`repro.delivery.models` — push-only and hybrid (push hot items,
+  pull the rest) client populations, sharing the DES kernel and the
+  pull substrate of the main library.
+"""
+
+from repro.delivery.models import (
+    DeliveryResults,
+    HybridSystem,
+    PushSystem,
+    compare_delivery_models,
+)
+from repro.delivery.multidisk import MultiDiskSchedule
+from repro.delivery.power import ListeningPower
+from repro.delivery.schedule import BroadcastSchedule
+
+__all__ = [
+    "BroadcastSchedule",
+    "DeliveryResults",
+    "HybridSystem",
+    "ListeningPower",
+    "MultiDiskSchedule",
+    "PushSystem",
+    "compare_delivery_models",
+]

@@ -1,0 +1,305 @@
+"""Push-only and hybrid delivery client populations.
+
+Both systems reuse the DES kernel and the Zipf workload substrate; the
+hybrid system additionally reuses the pull substrate's FCFS server
+channels.  The client's radio is modelled awake for the whole pull wait
+(it must listen for its reply) and for the index-probe/receive phases of a
+broadcast tune, dozing between index and item — the standard (1, m)
+energy model, with rates from :class:`repro.delivery.power.ListeningPower`.
+
+``compare_delivery_models`` puts the paper's Section I argument in one
+table: push scales but pays cycle-bound latency and doze energy; pull is
+fast until the downlink saturates; hybrid sits between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.workload import AccessPattern, build_access_patterns
+from repro.delivery.power import ListeningPower
+from repro.delivery.schedule import BroadcastSchedule
+from repro.net.channel import ServerChannel
+from repro.sim.kernel import Environment
+from repro.sim.stats import WelfordAccumulator
+
+__all__ = [
+    "DeliveryResults",
+    "HybridSystem",
+    "PushSystem",
+    "compare_delivery_models",
+]
+
+
+@dataclass
+class DeliveryResults:
+    """Headline metrics of one delivery-model run."""
+
+    model: str
+    requests: int
+    access_latency: float
+    power_per_request: float
+    pushed_fraction: float  # share of requests served from the air
+    server_requests: int
+
+
+def aggregate_popularity(
+    patterns: Sequence[AccessPattern], n_data: int
+) -> np.ndarray:
+    """Population-wide access probability per item (the server's view)."""
+    popularity = np.zeros(n_data)
+    for pattern in patterns:
+        for rank in range(pattern.access_range):
+            popularity[pattern.item_for_rank(rank)] += pattern._zipf.probability(
+                rank
+            )
+    total = popularity.sum()
+    return popularity / total if total > 0 else popularity
+
+
+class _DeliveryBase:
+    """Shared wiring: environment, workload, accumulators."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        n_data: int,
+        access_range: int,
+        theta: float,
+        think_time_mean: float,
+        seed: int,
+    ):
+        self.env = Environment()
+        self.n_clients = int(n_clients)
+        self.n_data = int(n_data)
+        self.think_time_mean = float(think_time_mean)
+        rng = np.random.default_rng(seed)
+        self.patterns = build_access_patterns(
+            rng, list(range(n_clients)), n_data, access_range, theta
+        )
+        self.rngs = [np.random.default_rng(seed + 1 + i) for i in range(n_clients)]
+        self.latency = WelfordAccumulator()
+        self.energy = WelfordAccumulator()
+        self.completed = [0] * n_clients
+        self.pushed = 0
+        self.server_requests = 0
+
+    def _run_until(self, requests_per_client: int, hard_stop: float) -> None:
+        while (
+            min(self.completed) < requests_per_client
+            and self.env.now < hard_stop
+        ):
+            self.env.run(until=self.env.now + 50.0)
+
+    def _results(self, model: str) -> DeliveryResults:
+        total = sum(self.completed)
+        return DeliveryResults(
+            model=model,
+            requests=total,
+            access_latency=self.latency.mean,
+            power_per_request=self.energy.mean,
+            pushed_fraction=self.pushed / total if total else 0.0,
+            server_requests=self.server_requests,
+        )
+
+
+class PushSystem(_DeliveryBase):
+    """Clients served exclusively from the broadcast channel."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        n_data: int,
+        access_range: int,
+        theta: float,
+        item_bytes: int = 3072,
+        index_bytes: int = 128,
+        bandwidth_bps: float = 2_500_000.0,
+        index_every: int = 50,
+        think_time_mean: float = 1.0,
+        listening: Optional[ListeningPower] = None,
+        seed: int = 1,
+    ):
+        super().__init__(
+            n_clients, n_data, access_range, theta, think_time_mean, seed
+        )
+        self.schedule = BroadcastSchedule(
+            n_data, item_bytes, index_bytes, bandwidth_bps, index_every
+        )
+        self.listening = listening or ListeningPower()
+        for index in range(n_clients):
+            self.env.process(self._client(index))
+
+    def _client(self, index: int):
+        pattern, rng = self.patterns[index], self.rngs[index]
+        while True:
+            yield self.env.timeout(rng.exponential(self.think_time_mean))
+            item = pattern.next_item()
+            outcome = self.schedule.tune(item, self.env.now)
+            yield self.env.timeout(outcome.latency)
+            self.latency.add(outcome.latency)
+            self.energy.add(
+                self.listening.cost(outcome.active_time, outcome.doze_time)
+            )
+            self.completed[index] += 1
+            self.pushed += 1
+
+    def run(
+        self, requests_per_client: int = 20, hard_stop: float = 100_000.0
+    ) -> DeliveryResults:
+        self._run_until(requests_per_client, hard_stop)
+        return self._results("push")
+
+
+class HybridSystem(_DeliveryBase):
+    """Hot items on the air, cold items pulled over the server channels."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        n_data: int,
+        access_range: int,
+        theta: float,
+        hot_items: int,
+        item_bytes: int = 3072,
+        index_bytes: int = 128,
+        broadcast_bps: float = 1_250_000.0,
+        downlink_bps: float = 1_250_000.0,
+        uplink_bps: float = 200_000.0,
+        request_bytes: int = 96,
+        index_every: int = 50,
+        think_time_mean: float = 1.0,
+        listening: Optional[ListeningPower] = None,
+        seed: int = 1,
+    ):
+        if not 1 <= hot_items <= n_data:
+            raise ValueError("hot_items must be in [1, n_data]")
+        super().__init__(
+            n_clients, n_data, access_range, theta, think_time_mean, seed
+        )
+        popularity = aggregate_popularity(self.patterns, n_data)
+        ranked = np.argsort(popularity)[::-1]
+        self.hot_rank = {int(item): i for i, item in enumerate(ranked[:hot_items])}
+        self.schedule = BroadcastSchedule(
+            hot_items, item_bytes, index_bytes, broadcast_bps, index_every
+        )
+        self.channel = ServerChannel(self.env, downlink_bps, uplink_bps)
+        self.item_bytes = int(item_bytes)
+        self.request_bytes = int(request_bytes)
+        self.listening = listening or ListeningPower()
+        for index in range(n_clients):
+            self.env.process(self._client(index))
+
+    def _client(self, index: int):
+        pattern, rng = self.patterns[index], self.rngs[index]
+        while True:
+            yield self.env.timeout(rng.exponential(self.think_time_mean))
+            item = pattern.next_item()
+            start = self.env.now
+            rank = self.hot_rank.get(item)
+            if rank is not None:
+                outcome = self.schedule.tune(rank, start)
+                yield self.env.timeout(outcome.latency)
+                self.energy.add(
+                    self.listening.cost(outcome.active_time, outcome.doze_time)
+                )
+                self.pushed += 1
+            else:
+                yield from self.channel.send_uplink(self.request_bytes)
+                yield from self.channel.send_downlink(self.item_bytes)
+                self.server_requests += 1
+                # Awake for the whole pull wait.
+                self.energy.add(
+                    self.listening.cost(self.env.now - start, 0.0)
+                )
+            self.latency.add(self.env.now - start)
+            self.completed[index] += 1
+
+    def run(
+        self, requests_per_client: int = 20, hard_stop: float = 100_000.0
+    ) -> DeliveryResults:
+        self._run_until(requests_per_client, hard_stop)
+        return self._results("hybrid")
+
+
+def compare_delivery_models(
+    n_clients: int = 20,
+    n_data: int = 2000,
+    access_range: int = 200,
+    theta: float = 0.5,
+    hot_items: int = 200,
+    requests_per_client: int = 20,
+    bandwidth_bps: float = 2_500_000.0,
+    seed: int = 1,
+    listening: Optional[ListeningPower] = None,
+) -> Dict[str, DeliveryResults]:
+    """Push vs hybrid vs pull (plain client-server) on the same workload.
+
+    The pull system reuses the main library's conventional-caching scheme
+    with caching disabled in spirit (cache of one item) so the comparison
+    isolates the *delivery* models; its radio energy is the awake time over
+    the pull latency, like the hybrid's pull path.  The hybrid splits the
+    channel budget evenly between the broadcast disk and the downlink.
+    """
+    listening = listening or ListeningPower()
+    push = PushSystem(
+        n_clients,
+        n_data,
+        access_range,
+        theta,
+        bandwidth_bps=bandwidth_bps,
+        listening=listening,
+        seed=seed,
+    ).run(requests_per_client)
+    hybrid = HybridSystem(
+        n_clients,
+        n_data,
+        access_range,
+        theta,
+        hot_items=hot_items,
+        broadcast_bps=bandwidth_bps / 2.0,
+        downlink_bps=bandwidth_bps / 2.0,
+        listening=listening,
+        seed=seed,
+    ).run(requests_per_client)
+
+    # Pull: every request goes to the server over the full-rate downlink.
+    env = Environment()
+    channel = ServerChannel(env, bandwidth_bps, 200_000.0)
+    rng = np.random.default_rng(seed)
+    patterns = build_access_patterns(
+        rng, list(range(n_clients)), n_data, access_range, theta
+    )
+    latency = WelfordAccumulator()
+    energy = WelfordAccumulator()
+    completed = [0] * n_clients
+
+    def puller(index):
+        pattern = patterns[index]
+        client_rng = np.random.default_rng(seed + 1 + index)
+        while True:
+            yield env.timeout(client_rng.exponential(1.0))
+            pattern.next_item()
+            start = env.now
+            yield from channel.send_uplink(96)
+            yield from channel.send_downlink(3072)
+            latency.add(env.now - start)
+            energy.add(listening.cost(env.now - start, 0.0))
+            completed[index] += 1
+
+    for index in range(n_clients):
+        env.process(puller(index))
+    while min(completed) < requests_per_client and env.now < 100_000.0:
+        env.run(until=env.now + 50.0)
+    pull = DeliveryResults(
+        model="pull",
+        requests=sum(completed),
+        access_latency=latency.mean,
+        power_per_request=energy.mean,
+        pushed_fraction=0.0,
+        server_requests=sum(completed),
+    )
+    return {"pull": pull, "push": push, "hybrid": hybrid}

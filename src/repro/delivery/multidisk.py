@@ -1,0 +1,135 @@
+"""Multi-disk broadcast scheduling (Acharya et al.'s Broadcast Disks).
+
+A flat disk gives every item the same period; a multi-disk schedule spins
+hot items on faster "disks" so they appear several times per major cycle,
+trading cold-item latency for hot-item latency.  This is the standard
+push-side optimisation the hybrid model of Section I would deploy.
+
+Construction follows the classic algorithm: with relative frequencies
+``f_i`` and ``L = lcm(f)``, disk *i* is split into ``L / f_i`` chunks and
+each of the ``L`` minor cycles broadcasts the next chunk of every disk.
+The flattened slot sequence is then segmented with a (1, m) index exactly
+like :class:`~repro.delivery.schedule.BroadcastSchedule`, and
+:meth:`tune` returns the same :class:`~repro.delivery.schedule.TuneOutcome`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.delivery.schedule import TuneOutcome
+
+__all__ = ["MultiDiskSchedule"]
+
+
+def _lcm_all(values: Sequence[int]) -> int:
+    result = 1
+    for value in values:
+        result = result * value // math.gcd(result, value)
+    return result
+
+
+class MultiDiskSchedule:
+    """Broadcast disks with per-disk relative frequencies + (1, m) index."""
+
+    def __init__(
+        self,
+        disks: Sequence[Sequence[int]],
+        frequencies: Sequence[int],
+        item_bytes: int,
+        index_bytes: int,
+        bandwidth_bps: float,
+        index_every: int,
+    ):
+        if len(disks) != len(frequencies) or not disks:
+            raise ValueError("need matching, non-empty disks and frequencies")
+        if any(f < 1 for f in frequencies):
+            raise ValueError("frequencies must be >= 1")
+        if any(not disk for disk in disks):
+            raise ValueError("every disk needs at least one item")
+        if item_bytes < 1 or index_bytes < 1 or bandwidth_bps <= 0:
+            raise ValueError("invalid channel parameters")
+        if index_every < 1:
+            raise ValueError("index_every must be >= 1")
+        seen: set = set()
+        for disk in disks:
+            for item in disk:
+                if item in seen:
+                    raise ValueError(f"item {item} appears on two disks")
+                seen.add(item)
+
+        self.item_time = item_bytes * 8.0 / bandwidth_bps
+        self.index_time = index_bytes * 8.0 / bandwidth_bps
+
+        # Build one major cycle of data slots.
+        cycles = _lcm_all(list(frequencies))
+        chunked: List[List[List[int]]] = []
+        for disk, frequency in zip(disks, frequencies):
+            n_chunks = cycles // frequency
+            size = -(-len(disk) // n_chunks)  # ceil
+            chunks = [
+                list(disk[start : start + size])
+                for start in range(0, len(disk), size)
+            ]
+            while len(chunks) < n_chunks:
+                chunks.append([])  # padding chunk (dead air skipped below)
+            chunked.append(chunks)
+        slots: List[int] = []
+        for minor in range(cycles):
+            for disk_index, chunks in enumerate(chunked):
+                slots.extend(chunks[minor % len(chunks)])
+        self.slots = slots
+
+        self.index_every = min(int(index_every), len(slots))
+        self.segments = -(-len(slots) // self.index_every)
+        self.segment_time = self.index_time + self.index_every * self.item_time
+        self._positions: Dict[int, List[int]] = {}
+        for position, item in enumerate(slots):
+            self._positions.setdefault(item, []).append(position)
+
+    @property
+    def cycle_time(self) -> float:
+        return self.segments * self.segment_time
+
+    def broadcasts_per_cycle(self, item: int) -> int:
+        return len(self._positions.get(item, ()))
+
+    def _slot_start(self, position: int, cycle_start: float) -> float:
+        segment, offset = divmod(position, self.index_every)
+        return (
+            cycle_start
+            + segment * self.segment_time
+            + self.index_time
+            + offset * self.item_time
+        )
+
+    def next_index_end(self, t: float) -> float:
+        within = t % self.segment_time
+        segment_start = t - within
+        if within > 1e-12:
+            segment_start += self.segment_time
+        return segment_start + self.index_time
+
+    def tune(self, item: int, t: float) -> TuneOutcome:
+        """Tune in at ``t`` for ``item``; same contract as the flat disk."""
+        positions = self._positions.get(item)
+        if not positions:
+            raise KeyError(f"item {item} is not on the air")
+        index_end = self.next_index_end(t)
+        cycle_start = (index_end // self.cycle_time) * self.cycle_time
+        best = math.inf
+        for candidate_cycle in (cycle_start, cycle_start + self.cycle_time):
+            for position in positions:
+                slot = self._slot_start(position, candidate_cycle)
+                if slot >= index_end - 1e-12:
+                    best = min(best, slot)
+                    break  # positions are sorted; first hit is earliest
+            if best < math.inf:
+                break
+        received = best + self.item_time
+        return TuneOutcome(
+            latency=received - t,
+            active_time=(index_end - t) + self.item_time,
+            doze_time=max(best - index_end, 0.0),
+        )

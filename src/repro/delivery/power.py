@@ -1,0 +1,28 @@
+"""Listening power for broadcast clients.
+
+The Table I model charges per *message*; a broadcast client's dominant
+cost is instead the time its receiver spends awake.  Rates follow the
+WaveLAN measurements of the paper's ref [29] (Feeney & Nilsson): idle
+(actively listening) ≈ 843 mW, doze ≈ 66 mW — expressed here in µW so the
+results share the paper's µW·s unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ListeningPower"]
+
+
+@dataclass(frozen=True)
+class ListeningPower:
+    """Radio power rates in µW (µW·s per second of that state)."""
+
+    active_uw: float = 843_000.0  # receiver awake / receiving
+    doze_uw: float = 66_000.0  # doze mode between index and item
+
+    def cost(self, active_time: float, doze_time: float) -> float:
+        """Energy in µW·s for one tuning episode."""
+        if active_time < 0 or doze_time < 0:
+            raise ValueError("times must be non-negative")
+        return self.active_uw * active_time + self.doze_uw * doze_time

@@ -1,0 +1,57 @@
+"""Experiment harness: the sweeps behind every figure of Section VI.
+
+* :mod:`repro.experiments.runner` — sweep execution over schemes and
+  parameter values, scale profiles (quick / bench / full).
+* :mod:`repro.experiments.sweeps` — one function per paper figure.
+* :mod:`repro.experiments.tables` — text rendering of the result series.
+"""
+
+from repro.experiments.export import sweep_to_csv, sweep_to_rows
+from repro.experiments.replication import (
+    MetricSummary,
+    ReplicationSummary,
+    run_replications,
+)
+from repro.experiments.runner import (
+    BENCH_PROFILE,
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    SweepTable,
+    active_profile,
+    base_config,
+    run_sweep,
+)
+from repro.experiments.sweeps import (
+    sweep_access_range,
+    sweep_cache_size,
+    sweep_disconnection,
+    sweep_group_size,
+    sweep_n_clients,
+    sweep_skewness,
+    sweep_update_rate,
+)
+from repro.experiments.tables import format_results_row, format_sweep_table
+
+__all__ = [
+    "BENCH_PROFILE",
+    "FULL_PROFILE",
+    "MetricSummary",
+    "QUICK_PROFILE",
+    "ReplicationSummary",
+    "SweepTable",
+    "active_profile",
+    "base_config",
+    "format_results_row",
+    "format_sweep_table",
+    "run_replications",
+    "run_sweep",
+    "sweep_to_csv",
+    "sweep_to_rows",
+    "sweep_access_range",
+    "sweep_cache_size",
+    "sweep_disconnection",
+    "sweep_group_size",
+    "sweep_n_clients",
+    "sweep_skewness",
+    "sweep_update_rate",
+]

@@ -1,0 +1,71 @@
+"""Exports of sweep results for downstream tooling.
+
+``sweep_to_csv`` flattens a :class:`~repro.experiments.runner.SweepTable`
+into tidy rows (one row per sweep value x scheme) so the figures can be
+re-plotted with any external tool; ``sweep_to_rows`` gives the same data
+as dictionaries for programmatic use.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.runner import SweepTable
+
+__all__ = ["CSV_COLUMNS", "sweep_to_csv", "sweep_to_rows"]
+
+CSV_COLUMNS = [
+    "figure",
+    "parameter",
+    "value",
+    "scheme",
+    "requests",
+    "access_latency",
+    "server_request_ratio",
+    "gch_ratio",
+    "lch_ratio",
+    "failure_ratio",
+    "power_per_gch",
+    "power_data",
+    "power_signature",
+    "power_beacon",
+    "validations",
+    "peer_searches",
+    "bypassed_searches",
+    "measured_time",
+]
+
+
+def sweep_to_rows(table: SweepTable) -> List[Dict[str, object]]:
+    """Tidy rows: one per (sweep value, scheme)."""
+    rows: List[Dict[str, object]] = []
+    for scheme, results in table.rows.items():
+        for value, result in zip(table.values, results):
+            row: Dict[str, object] = {
+                "figure": table.figure,
+                "parameter": table.parameter,
+                "value": value,
+                "scheme": scheme,
+            }
+            for column in CSV_COLUMNS[4:]:
+                row[column] = getattr(result, column)
+            rows.append(row)
+    return rows
+
+
+def sweep_to_csv(
+    table: SweepTable, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Render the sweep as CSV text; optionally write it to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in sweep_to_rows(table):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,139 @@
+"""Sweep execution and scale profiles.
+
+The paper runs 100 clients for 1000+ measured requests each on a C++
+simulator; a pure-Python reproduction sweeps dozens of such runs, so the
+harness supports three scale profiles selected by the ``REPRO_PROFILE``
+environment variable (``quick`` / ``bench`` / ``full``):
+
+* ``quick``  — smoke-test scale for CI (minutes for the whole suite),
+* ``bench``  — the default: paper parameter *ratios* at a reduced
+  population and run length; preserves every qualitative shape,
+* ``full``   — the paper's population and a long measurement window.
+
+``REPRO_FULL=1`` is a shorthand for ``REPRO_PROFILE=full``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Results
+from repro.core.simulation import run_simulation
+
+__all__ = [
+    "BENCH_PROFILE",
+    "FULL_PROFILE",
+    "QUICK_PROFILE",
+    "SweepTable",
+    "active_profile",
+    "base_config",
+    "run_sweep",
+]
+
+#: Config overrides per profile.  Parameter *ratios* (cache/access range,
+#: access range/database, group span/transmission range) follow Table II.
+#: The downlink bandwidth scales with the population so the reduced
+#: profiles keep the paper's server-channel utilisation (the latency story
+#: of Figs. 2 and 7 depends on the downlink being the bottleneck).
+QUICK_PROFILE: Dict[str, object] = {
+    "n_clients": 20,
+    "n_data": 2000,
+    "access_range": 200,
+    "cache_size": 30,
+    "bw_downlink": 500_000.0,
+    "measure_requests": 40,
+    "warmup_min_time": 200.0,
+    "warmup_max_time": 300.0,
+    "ndp_enabled": False,
+}
+
+BENCH_PROFILE: Dict[str, object] = {
+    "n_clients": 60,
+    "n_data": 10_000,
+    "access_range": 1000,
+    "cache_size": 100,
+    "bw_downlink": 1_500_000.0,
+    "measure_requests": 60,
+    "warmup_min_time": 300.0,
+    "warmup_max_time": 600.0,
+}
+
+FULL_PROFILE: Dict[str, object] = {
+    "n_clients": 100,
+    "n_data": 10_000,
+    "access_range": 1000,
+    "cache_size": 100,
+    "measure_requests": 200,
+    "warmup_min_time": 300.0,
+    "warmup_max_time": 600.0,
+}
+
+_PROFILES = {"quick": QUICK_PROFILE, "bench": BENCH_PROFILE, "full": FULL_PROFILE}
+
+ALL_SCHEMES = (CachingScheme.LC, CachingScheme.CC, CachingScheme.GC)
+
+
+def active_profile() -> str:
+    """The profile name selected by the environment (default ``bench``)."""
+    if os.environ.get("REPRO_FULL", "") not in ("", "0"):
+        return "full"
+    name = os.environ.get("REPRO_PROFILE", "bench").lower()
+    if name not in _PROFILES:
+        raise ValueError(
+            f"unknown REPRO_PROFILE {name!r}; pick one of {sorted(_PROFILES)}"
+        )
+    return name
+
+
+def base_config(**overrides) -> SimulationConfig:
+    """The active profile's configuration with optional overrides."""
+    settings = dict(_PROFILES[active_profile()])
+    settings.update(overrides)
+    return SimulationConfig(**settings)
+
+
+@dataclass
+class SweepTable:
+    """All results behind one paper figure."""
+
+    figure: str
+    parameter: str
+    values: List[object]
+    rows: Dict[str, List[Results]] = field(default_factory=dict)
+
+    def series(self, scheme: str, metric: str) -> List[float]:
+        """One plotted line, e.g. ``series("GC", "gch_ratio")``."""
+        return [getattr(result, metric) for result in self.rows[scheme]]
+
+    def result(self, scheme: str, value: object) -> Results:
+        return self.rows[scheme][self.values.index(value)]
+
+
+def run_sweep(
+    figure: str,
+    parameter: str,
+    values: Sequence[object],
+    config_for: Callable[[object], SimulationConfig],
+    schemes: Sequence[CachingScheme] = ALL_SCHEMES,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepTable:
+    """Run ``config_for(value)`` under every scheme for every value.
+
+    The same seed is used across schemes at each sweep point, so the
+    comparisons are paired exactly as in the paper's common random numbers
+    methodology.
+    """
+    table = SweepTable(figure=figure, parameter=parameter, values=list(values))
+    for scheme in schemes:
+        table.rows[scheme.value] = []
+    for value in values:
+        config = config_for(value)
+        for scheme in schemes:
+            if progress is not None:
+                progress(f"{figure}: {parameter}={value} scheme={scheme.value}")
+            result = run_simulation(config.with_scheme(scheme))
+            table.rows[scheme.value].append(result)
+    return table

@@ -1,0 +1,149 @@
+"""One sweep per figure of the paper's Section VI.
+
+Each function returns a :class:`~repro.experiments.runner.SweepTable` whose
+rows are the LC / CC / GC series of the corresponding figure's four panels
+(access latency, server request ratio, GCH ratio, power per GCH).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.runner import active_profile, base_config, run_sweep
+
+__all__ = [
+    "sweep_access_range",
+    "sweep_cache_size",
+    "sweep_disconnection",
+    "sweep_group_size",
+    "sweep_n_clients",
+    "sweep_skewness",
+    "sweep_update_rate",
+]
+
+Progress = Optional[Callable[[str], None]]
+
+
+def sweep_cache_size(values: Sequence[int] = None, progress: Progress = None):
+    """Fig. 2: effect of cache size (50..250 data items).
+
+    The quick profile shrinks the x-axis with its access range so caches
+    never cover the whole working set.
+    """
+    if values is None:
+        values = (
+            (10, 20, 30, 40, 60)
+            if active_profile() == "quick"
+            else (50, 100, 150, 200, 250)
+        )
+    values = list(values)
+    return run_sweep(
+        "Fig2",
+        "cache_size",
+        values,
+        lambda v: base_config(cache_size=v),
+        progress=progress,
+    )
+
+
+def sweep_skewness(values: Sequence[float] = None, progress: Progress = None):
+    """Fig. 3: effect of the Zipf skewness parameter θ (0..1)."""
+    values = list(values or (0.0, 0.25, 0.5, 0.75, 1.0))
+    return run_sweep(
+        "Fig3",
+        "theta",
+        values,
+        lambda v: base_config(theta=v),
+        progress=progress,
+    )
+
+
+def sweep_access_range(values: Sequence[int] = None, progress: Progress = None):
+    """Fig. 4: effect of the access range (500..10,000 data items)."""
+    if values is None:
+        values = (
+            (100, 200, 500, 1000)
+            if active_profile() == "quick"
+            else (500, 1000, 2000, 5000, 10_000)
+        )
+    values = list(values)
+
+    def config_for(value):
+        # Wider ranges dilute the sampled access pattern (Σp² shrinks), so
+        # TCG discovery needs a longer settling window before recording.
+        settle = min(300.0 + value / 20.0, 800.0)
+        return base_config(access_range=value, warmup_min_time=settle)
+
+    return run_sweep("Fig4", "access_range", values, config_for, progress=progress)
+
+
+def sweep_group_size(values: Sequence[int] = None, progress: Progress = None):
+    """Fig. 5: effect of the motion group size (1..20 MHs)."""
+    values = list(values or (1, 5, 10, 15, 20))
+    return run_sweep(
+        "Fig5",
+        "group_size",
+        values,
+        lambda v: base_config(group_size=v),
+        progress=progress,
+    )
+
+
+def sweep_update_rate(values: Sequence[float] = None, progress: Progress = None):
+    """Fig. 6: effect of the data item update rate (0..10 items/s).
+
+    The quick profile's database is 5x smaller, so the same per-item churn
+    needs proportionally lower aggregate rates; its top rate is raised so
+    the effect is visible within the short measurement window.
+    """
+    if values is None:
+        values = (
+            (0.0, 1.0, 2.0, 5.0, 20.0)
+            if active_profile() == "quick"
+            else (0.0, 1.0, 2.0, 5.0, 10.0)
+        )
+    values = list(values)
+    return run_sweep(
+        "Fig6",
+        "data_update_rate",
+        values,
+        lambda v: base_config(data_update_rate=v),
+        progress=progress,
+    )
+
+
+def sweep_n_clients(values: Sequence[int] = None, progress: Progress = None):
+    """Fig. 7: system scalability against the number of MHs.
+
+    The sweep range is profile-dependent so the downlink saturation point
+    (the figure's knee) always falls inside the plotted range.
+    """
+    if values is None:
+        profile = active_profile()
+        if profile == "quick":
+            values = (10, 20, 40, 80)
+        elif profile == "bench":
+            values = (30, 60, 120, 180, 240)
+        else:
+            values = (50, 100, 200, 300, 400)
+    values = list(values)
+
+    def config_for(value):
+        # Past the downlink knee the closed loop slows every client, so the
+        # MSS observes patterns more slowly; stretch the settling window.
+        settle = max(300.0, 2.5 * value)
+        return base_config(n_clients=value, warmup_min_time=settle)
+
+    return run_sweep("Fig7", "n_clients", values, config_for, progress=progress)
+
+
+def sweep_disconnection(values: Sequence[float] = None, progress: Progress = None):
+    """Fig. 8: effect of the client disconnection probability (0..0.3)."""
+    values = list(values or (0.0, 0.05, 0.1, 0.2, 0.3))
+    return run_sweep(
+        "Fig8",
+        "p_disc",
+        values,
+        lambda v: base_config(p_disc=v),
+        progress=progress,
+    )

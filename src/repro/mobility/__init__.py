@@ -1,0 +1,37 @@
+"""Mobility substrate.
+
+Positions are *analytic*: every mobile host owns a lazily-extended
+piecewise-linear trajectory, so ``position(t)`` is exact for any time and the
+simulation kernel never pays for mobility ticks.
+
+* :mod:`repro.mobility.geometry` — rectangles and vector helpers.
+* :mod:`repro.mobility.trajectory` — lazy piecewise-linear trajectories.
+* :mod:`repro.mobility.waypoint` — the random waypoint model (Broch et al.).
+* :mod:`repro.mobility.rpgm` — the reference point group mobility model
+  (Hong et al.), the paper's client motion model.
+* :mod:`repro.mobility.field` — position snapshots and neighbor queries over
+  a population of trajectories.
+"""
+
+from repro.mobility.field import MobilityField, build_group_mobility
+from repro.mobility.geometry import Rectangle
+from repro.mobility.rpgm import GroupMemberTrajectory
+from repro.mobility.trajectory import (
+    PiecewiseLinearTrajectory,
+    Segment,
+    StationaryTrajectory,
+    Trajectory,
+)
+from repro.mobility.waypoint import RandomWaypointTrajectory
+
+__all__ = [
+    "GroupMemberTrajectory",
+    "MobilityField",
+    "PiecewiseLinearTrajectory",
+    "RandomWaypointTrajectory",
+    "Rectangle",
+    "Segment",
+    "StationaryTrajectory",
+    "Trajectory",
+    "build_group_mobility",
+]

@@ -1,0 +1,148 @@
+"""Position snapshots and neighbor queries over a population of hosts."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.geometry import Rectangle
+from repro.mobility.rpgm import GroupMemberTrajectory
+from repro.mobility.trajectory import Trajectory
+from repro.mobility.waypoint import RandomWaypointTrajectory
+
+__all__ = ["MobilityField", "build_group_mobility"]
+
+
+class MobilityField:
+    """The set of all host trajectories with vectorised geometric queries.
+
+    Snapshots are cached per query time: within one simulated instant (e.g.
+    a broadcast and its receptions) every query reuses one (N, 2) array.
+    """
+
+    def __init__(
+        self, trajectories: Sequence[Trajectory], resolution: float = 0.0
+    ):
+        """``resolution`` > 0 quantises snapshot times to that granularity:
+        queries within one bucket share a snapshot.  At the paper's maximum
+        speed of 5 m/s a 0.1 s resolution bounds the position error by half
+        a metre — far below the transmission range — while collapsing the
+        millisecond-scale timestamps of individual transmissions."""
+        if not trajectories:
+            raise ValueError("MobilityField needs at least one trajectory")
+        if resolution < 0:
+            raise ValueError("resolution must be >= 0")
+        self.trajectories = list(trajectories)
+        self.resolution = float(resolution)
+        self._snapshot_time = -math.inf
+        self._snapshot: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def _quantise(self, t: float) -> float:
+        if self.resolution <= 0:
+            return t
+        return math.floor(t / self.resolution) * self.resolution
+
+    def positions(self, t: float) -> np.ndarray:
+        """(N, 2) array of positions at time ``t`` (cached per bucket)."""
+        t = self._quantise(t)
+        if t != self._snapshot_time or self._snapshot is None:
+            self._snapshot = np.array(
+                [trajectory.position(t) for trajectory in self.trajectories]
+            )
+            self._snapshot_time = t
+        return self._snapshot
+
+    def position_of(self, index: int, t: float) -> np.ndarray:
+        return self.positions(t)[index]
+
+    def distance(self, i: int, j: int, t: float) -> float:
+        positions = self.positions(t)
+        return float(np.hypot(*(positions[i] - positions[j])))
+
+    def neighbors_of(
+        self,
+        index: int,
+        t: float,
+        radius: float,
+        include_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Indices of hosts within ``radius`` of host ``index`` at ``t``.
+
+        ``include_mask`` (bool, length N) removes e.g. disconnected hosts.
+        The host itself is never included.
+        """
+        positions = self.positions(t)
+        deltas = positions - positions[index]
+        close = (deltas[:, 0] ** 2 + deltas[:, 1] ** 2) <= radius * radius
+        close[index] = False
+        if include_mask is not None:
+            close &= include_mask
+        return np.nonzero(close)[0]
+
+    def within_range(
+        self,
+        point: np.ndarray,
+        t: float,
+        radius: float,
+        include_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Indices of hosts within ``radius`` of an arbitrary ``point``."""
+        positions = self.positions(t)
+        deltas = positions - np.asarray(point, dtype=float)
+        close = (deltas[:, 0] ** 2 + deltas[:, 1] ** 2) <= radius * radius
+        if include_mask is not None:
+            close &= include_mask
+        return np.nonzero(close)[0]
+
+    def pairwise_distances(self, t: float) -> np.ndarray:
+        """(N, N) symmetric distance matrix at time ``t``."""
+        positions = self.positions(t)
+        deltas = positions[:, None, :] - positions[None, :, :]
+        return np.sqrt((deltas**2).sum(axis=2))
+
+
+def build_group_mobility(
+    rng: np.random.Generator,
+    n_clients: int,
+    group_size: int,
+    area: Rectangle,
+    v_min: float,
+    v_max: float,
+    pause_time: float = 1.0,
+    group_span: float = 50.0,
+    resolution: float = 0.0,
+) -> Tuple[MobilityField, List[int]]:
+    """Build the paper's client motion model (Section V-B).
+
+    Clients are divided into motion groups of ``group_size``; each group's
+    reference point follows the random waypoint model and members follow the
+    reference with a bounded offset (RPGM).  ``group_size == 1`` gives each
+    client an individual random waypoint path (span 0).
+
+    Returns the field plus ``group_of`` mapping client index -> group id.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    trajectories: List[Trajectory] = []
+    group_of: List[int] = []
+    group_id = 0
+    built = 0
+    while built < n_clients:
+        members = min(group_size, n_clients - built)
+        reference = RandomWaypointTrajectory(
+            rng, area, v_min, v_max, pause_time=pause_time
+        )
+        span = 0.0 if members == 1 else group_span
+        for _ in range(members):
+            trajectories.append(GroupMemberTrajectory(reference, rng, span))
+            group_of.append(group_id)
+        built += members
+        group_id += 1
+    return MobilityField(trajectories, resolution=resolution), group_of

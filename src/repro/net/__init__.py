@@ -1,0 +1,30 @@
+"""Wireless network substrate.
+
+* :mod:`repro.net.message` — the message taxonomy of the COCA/GroCoca
+  protocols and their wire sizes.
+* :mod:`repro.net.power` — the Feeney–Nilsson linear power-consumption model
+  (Table I of the paper) and per-host power ledgers.
+* :mod:`repro.net.channel` — the MSS uplink/downlink shared channels.
+* :mod:`repro.net.p2p` — the half-duplex P2P medium with CSMA-style
+  contention, broadcast/point-to-point primitives and bounded flooding.
+* :mod:`repro.net.ndp` — the neighbor discovery protocol (periodic hello
+  beacons, link-failure detection).
+"""
+
+from repro.net.channel import ServerChannel
+from repro.net.message import Message, MessageKind, MessageSizes
+from repro.net.ndp import NeighborDiscovery
+from repro.net.p2p import P2PNetwork
+from repro.net.power import PowerLedger, PowerModel, PowerParameters
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "MessageSizes",
+    "NeighborDiscovery",
+    "P2PNetwork",
+    "PowerLedger",
+    "PowerModel",
+    "PowerParameters",
+    "ServerChannel",
+]

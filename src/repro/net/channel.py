@@ -1,0 +1,62 @@
+"""MSS uplink/downlink channels (Section V-C).
+
+The wireless channel between the MSS and the clients is a pair of shared
+links with total bandwidths ``BW_server`` (downlink / uplink).  Requests are
+buffered in an infinite FCFS queue while the link is busy — exactly the
+paper's server model — so downlink saturation produces the latency blow-up
+of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["ServerChannel"]
+
+
+class ServerChannel:
+    """Shared uplink and downlink with FCFS queueing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        downlink_bps: float,
+        uplink_bps: float,
+    ):
+        if downlink_bps <= 0 or uplink_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.env = env
+        self.downlink_bps = float(downlink_bps)
+        self.uplink_bps = float(uplink_bps)
+        self._downlink = Resource(env, capacity=1)
+        self._uplink = Resource(env, capacity=1)
+        self.bytes_down = 0
+        self.bytes_up = 0
+
+    def downlink_time(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.downlink_bps
+
+    def uplink_time(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.uplink_bps
+
+    def send_downlink(self, size_bytes: int):
+        """Process helper: queue for and occupy the downlink.
+
+        Usage: ``yield from channel.send_downlink(size)``.
+        """
+        self.bytes_down += size_bytes
+        yield from self._downlink.acquire(self.downlink_time(size_bytes))
+
+    def send_uplink(self, size_bytes: int):
+        """Process helper: queue for and occupy the uplink."""
+        self.bytes_up += size_bytes
+        yield from self._uplink.acquire(self.uplink_time(size_bytes))
+
+    @property
+    def downlink_queue_length(self) -> int:
+        return self._downlink.queue_length
+
+    @property
+    def uplink_queue_length(self) -> int:
+        return self._uplink.queue_length

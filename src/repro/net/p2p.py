@@ -1,0 +1,260 @@
+"""The half-duplex P2P wireless medium (Section III / V-A).
+
+Every host has one P2P network interface with an omnidirectional antenna and
+transmission range ``TranRange``.  The medium is modelled CSMA-style with a
+per-host *busy-until* horizon: a transmission defers until its sender's
+radio is free, then occupies the radios of every host in range for the
+transmission time.  This deadlock-free approximation reproduces the local
+congestion effects the paper reports for large motion groups (Fig. 5) and
+dense systems (Fig. 7).
+
+Power is charged per Table I: broadcast send/receive for REQUEST beacons,
+point-to-point send/receive plus bystander-discard costs for targeted
+messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.mobility.field import MobilityField
+from repro.net.message import Message
+from repro.net.power import PowerLedger, PowerModel
+from repro.sim.kernel import Environment
+
+__all__ = ["P2PNetwork"]
+
+Handler = Callable[[Message], None]
+
+
+class P2PNetwork:
+    """Broadcast / point-to-point primitives over the shared medium."""
+
+    def __init__(
+        self,
+        env: Environment,
+        field: MobilityField,
+        bandwidth_bps: float,
+        tran_range: float,
+        ledger: PowerLedger,
+        model: Optional[PowerModel] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if tran_range <= 0:
+            raise ValueError("transmission range must be positive")
+        self.env = env
+        self.field = field
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.tran_range = float(tran_range)
+        self.ledger = ledger
+        self.model = model or PowerModel()
+        n = len(field)
+        self.connected = np.ones(n, dtype=bool)
+        self._busy_until = np.zeros(n)
+        self._handlers: List[Optional[Handler]] = [None] * n
+        # Traffic counters (for diagnostics and the ablation benches).
+        self.broadcasts = 0
+        self.unicasts = 0
+        self.failed_unicasts = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_handler(self, node: int, handler: Handler) -> None:
+        """Install the receive callback of a host."""
+        self._handlers[node] = handler
+
+    def set_connected(self, node: int, is_connected: bool) -> None:
+        self.connected[node] = is_connected
+
+    def is_connected(self, node: int) -> bool:
+        return bool(self.connected[node])
+
+    # -- physical layer --------------------------------------------------------
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Air time of a message of the given size."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Connected hosts currently within transmission range of ``node``."""
+        return self.field.neighbors_of(
+            node, self.env.now, self.tran_range, include_mask=self.connected
+        )
+
+    def reachable(self, src: int, dst: int, max_hops: int) -> bool:
+        """Whether ``dst`` is within ``max_hops`` P2P hops of ``src`` now.
+
+        Used for oracle membership-reachability checks; the protocols
+        themselves only use broadcast/unicast.
+        """
+        if src == dst:
+            return True
+        if not (self.connected[src] and self.connected[dst]):
+            return False
+        seen = {src}
+        frontier = deque([(src, 0)])
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth == max_hops:
+                continue
+            for peer in self.neighbors(node):
+                peer = int(peer)
+                if peer == dst:
+                    return True
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append((peer, depth + 1))
+        return False
+
+    def _wait_medium(self, node: int):
+        """Defer until the host's radio is idle (CSMA)."""
+        while True:
+            gap = self._busy_until[node] - self.env.now
+            if gap <= 1e-12:
+                return
+            yield self.env.timeout(gap)
+
+    def _occupy(self, nodes: np.ndarray, until: float) -> None:
+        if len(nodes):
+            self._busy_until[nodes] = np.maximum(self._busy_until[nodes], until)
+
+    # -- broadcast --------------------------------------------------------------
+
+    def broadcast(
+        self,
+        src: int,
+        message: Message,
+        purpose: str = "data",
+        signature_bytes: int = 0,
+    ):
+        """Transmit to every connected host in range.
+
+        Process helper (``yield from``); returns the receiver indices.
+        Receivers are fixed at transmission start; delivery happens after the
+        air time, to hosts still connected.  ``signature_bytes`` attributes
+        the variable power cost of that many piggybacked bytes (GroCoCa's
+        signature update information) to the ledger's ``signature`` purpose.
+        """
+        yield from self._wait_medium(src)
+        if not self.connected[src]:
+            return []
+        now = self.env.now
+        air = self.tx_time(message.size)
+        receivers = self.field.neighbors_of(
+            src, now, self.tran_range, include_mask=self.connected
+        )
+        end = now + air
+        self._busy_until[src] = max(self._busy_until[src], end)
+        self._occupy(receivers, end)
+        send_cost = self.model.bc_send(message.size)
+        recv_cost = self.model.bc_recv(message.size)
+        if signature_bytes > 0:
+            sig_send = self.model.parameters.bc_send_v * signature_bytes
+            sig_recv = self.model.parameters.bc_recv_v * signature_bytes
+            self.ledger.charge(src, sig_send, "signature")
+            self.ledger.charge_many(receivers, sig_recv, "signature")
+            send_cost -= sig_send
+            recv_cost -= sig_recv
+        self.ledger.charge(src, send_cost, purpose)
+        self.ledger.charge_many(receivers, recv_cost, purpose)
+        self.broadcasts += 1
+        yield self.env.timeout(air)
+        delivered = []
+        for receiver in receivers:
+            receiver = int(receiver)
+            if self.connected[receiver]:
+                delivered.append(receiver)
+                handler = self._handlers[receiver]
+                if handler is not None:
+                    handler(message)
+        return delivered
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def unicast(
+        self,
+        src: int,
+        dst: int,
+        message: Message,
+        purpose: str = "data",
+        deliver: bool = True,
+    ):
+        """Transmit to one host.
+
+        Process helper; returns True when delivered.  The sender spends
+        power regardless; bystanders in range of the source and/or the
+        destination pay the Table I discard costs.  ``deliver=False``
+        suppresses the destination handler (intermediate relay hops).
+        """
+        if src == dst:
+            raise ValueError("unicast to self")
+        yield from self._wait_medium(src)
+        if not self.connected[src]:
+            return False
+        now = self.env.now
+        air = self.tx_time(message.size)
+        size = message.size
+        near_src = self.field.neighbors_of(
+            src, now, self.tran_range, include_mask=self.connected
+        )
+        near_dst = self.field.neighbors_of(
+            dst, now, self.tran_range, include_mask=self.connected
+        )
+        in_src = set(int(i) for i in near_src)
+        in_dst = set(int(i) for i in near_dst) - {src}
+        deliverable = dst in in_src and self.connected[dst]
+
+        end = now + air
+        self._busy_until[src] = max(self._busy_until[src], end)
+        self._occupy(near_src, end)
+
+        self.ledger.charge(src, self.model.ptp_send(size), purpose)
+        if deliverable:
+            self.ledger.charge(dst, self.model.ptp_recv(size), purpose)
+        bystanders_src = in_src - {dst}
+        bystanders_both = bystanders_src & in_dst
+        bystanders_src_only = bystanders_src - in_dst
+        bystanders_dst_only = (in_dst - {dst}) - in_src
+        self.ledger.charge_many(
+            list(bystanders_both), self.model.ptp_discard_sd(size), purpose
+        )
+        self.ledger.charge_many(
+            list(bystanders_src_only), self.model.ptp_discard_s(size), purpose
+        )
+        self.ledger.charge_many(
+            list(bystanders_dst_only), self.model.ptp_discard_d(size), purpose
+        )
+
+        self.unicasts += 1
+        yield self.env.timeout(air)
+        if not (deliverable and self.connected[dst]):
+            self.failed_unicasts += 1
+            return False
+        if deliver:
+            handler = self._handlers[dst]
+            if handler is not None:
+                handler(message)
+        return True
+
+    def unicast_route(
+        self, path: List[int], message: Message, purpose: str = "data"
+    ):
+        """Relay a message hop-by-hop along ``path`` (first element = sender).
+
+        Process helper; returns True when every hop succeeded.  Used for
+        replies/retrievals to peers found beyond one hop (HopDist > 1).
+        """
+        if len(path) < 2:
+            raise ValueError("route needs at least sender and destination")
+        last = len(path) - 2
+        for hop, (hop_src, hop_dst) in enumerate(zip(path, path[1:])):
+            delivered = yield from self.unicast(
+                hop_src, hop_dst, message, purpose, deliver=(hop == last)
+            )
+            if not delivered:
+                return False
+        return True

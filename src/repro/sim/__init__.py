@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is built on CSIM (a commercial C++ process-oriented
+simulation library).  This package is the from-scratch Python replacement: a
+generator-based process kernel (:mod:`repro.sim.kernel`), FCFS resources and
+stores (:mod:`repro.sim.resources`), deterministic named random streams
+(:mod:`repro.sim.random`) and incremental statistics (:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.random import RandomStreams
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import TimeWeightedAverage, WelfordAccumulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "TimeWeightedAverage",
+    "Timeout",
+    "WelfordAccumulator",
+]

@@ -1,0 +1,356 @@
+"""Process-oriented discrete-event simulation kernel.
+
+A small, fast, dependency-free kernel in the style of CSIM/simpy:
+
+* :class:`Environment` owns the clock and the event heap.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Process` wraps a generator; ``yield event`` suspends the process
+  until the event fires and resumes it with the event's value.
+* :class:`Timeout` fires after a fixed delay.
+* :class:`AnyOf` / :class:`AllOf` compose events (used e.g. for the COCA
+  reply-or-timeout race).
+
+The kernel is deterministic: simultaneous events fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives the interrupt at its current yield
+    point and may catch it to handle premature wake-up (e.g. a client being
+    forced offline mid-wait).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that can carry a value or an exception.
+
+    Processes wait on events by yielding them.  An event is *triggered* by
+    :meth:`succeed` or :meth:`fail`; its callbacks run when the kernel pops
+    it off the heap at the trigger time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_state", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = _PENDING
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event fired successfully (no exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every waiting process.  If no process
+        waits, it surfaces from :meth:`Environment.run` unless
+        :meth:`defuse` was called.
+        """
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run inline at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        had_waiter = False
+        for callback in callbacks or ():
+            had_waiter = True
+            callback(self)
+        if self._exception is not None and not had_waiter and not self._defused:
+            raise self._exception
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator.  As an Event, it fires when the generator ends.
+
+    The value of the process-event is the generator's return value; an
+    uncaught exception inside the generator fails the process-event.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError("Process requires a generator")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current time.
+        bootstrap = Event(env)
+        bootstrap._state = _TRIGGERED
+        bootstrap.add_callback(self._resume)
+        env._schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is None:
+            raise SimulationError("cannot interrupt an unstarted process")
+        waited = self._waiting_on
+        if waited.callbacks is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup._exception = Interrupt(cause)
+        wakeup._state = _TRIGGERED
+        wakeup._defused = True
+        wakeup.add_callback(self._resume)
+        self.env._schedule(wakeup)
+
+    def _resume(self, fired: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if fired._exception is not None:
+                    fired._defused = True
+                    target = self.generator.throw(fired._exception)
+                else:
+                    target = self.generator.send(fired._value)
+            except StopIteration as stop:
+                if self._state == _PENDING:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - must fail the process
+                if self._state == _PENDING:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                self.generator.close()
+                if self._state == _PENDING:
+                    self.fail(SimulationError(f"process yielded a non-event: {target!r}"))
+                return
+            if target._state == _PROCESSED:
+                # Already fired: resume immediately without a heap trip.
+                fired = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: fires once ``_check`` is satisfied."""
+
+    __slots__ = ("events", "_fired_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._fired_count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._state == _PROCESSED:
+                self._on_fire(event)
+            else:
+                event.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._state != _PENDING:
+            if event._exception is not None:
+                event._defused = True
+            return
+        if event._exception is not None:
+            event._defused = True
+            self.fail(event._exception)
+            return
+        self._fired_count += 1
+        if self._check():
+            self.succeed(self._collect())
+
+    def _check(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value for event in self.events if event._state == _PROCESSED
+        }
+
+    def _check_count(self, needed: int) -> bool:
+        return self._fired_count >= needed
+
+
+class AnyOf(_Condition):
+    """Fires when any of the given events fires.
+
+    Value: ``{event: value}`` for the events fired so far.
+    """
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._fired_count >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._fired_count >= len(self.events)
+
+
+class Environment:
+    """The simulation clock and scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.  Raises SimulationError when idle."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock reaches ``until``."""
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = max(self._now, until)
+        else:
+            while self._heap:
+                self.step()

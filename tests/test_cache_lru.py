@@ -1,0 +1,160 @@
+"""Tests for the LRU cache with TTL entries."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheEntry, LRUCache
+
+
+def entry(item, **kwargs):
+    return CacheEntry(item=item, **kwargs)
+
+
+def test_entry_validity_and_remaining_ttl():
+    e = entry(1, expiry=10.0)
+    assert e.is_valid(5.0)
+    assert e.is_valid(10.0)
+    assert not e.is_valid(10.1)
+    assert e.remaining_ttl(4.0) == pytest.approx(6.0)
+    assert e.remaining_ttl(50.0) == 0.0
+
+
+def test_entry_infinite_ttl_by_default():
+    e = entry(1)
+    assert e.expiry == math.inf
+    assert e.is_valid(1e12)
+
+
+def test_insert_and_get():
+    cache = LRUCache(2)
+    cache.insert(entry(1), now=0.0)
+    assert 1 in cache
+    assert cache.get(1).item == 1
+    assert cache.get(2) is None
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(2)
+    cache.insert(entry(1), now=0.0)
+    cache.insert(entry(2), now=1.0)
+    evicted = cache.insert(entry(3), now=2.0)
+    assert evicted.item == 1
+    assert cache.items() == [2, 3]
+
+
+def test_touch_promotes_to_mru():
+    cache = LRUCache(2)
+    cache.insert(entry(1), now=0.0)
+    cache.insert(entry(2), now=1.0)
+    cache.touch(1, now=2.0)
+    evicted = cache.insert(entry(3), now=3.0)
+    assert evicted.item == 2
+    assert cache.get(1).last_access == 2.0
+
+
+def test_touch_missing_raises():
+    cache = LRUCache(1)
+    with pytest.raises(KeyError):
+        cache.touch(5, now=0.0)
+
+
+def test_reinsert_existing_does_not_evict():
+    cache = LRUCache(2)
+    cache.insert(entry(1), now=0.0)
+    cache.insert(entry(2), now=1.0)
+    evicted = cache.insert(entry(1, version=2), now=2.0)
+    assert evicted is None
+    assert cache.get(1).version == 2
+    assert cache.items() == [2, 1]
+
+
+def test_explicit_evict():
+    cache = LRUCache(2)
+    cache.insert(entry(1), now=0.0)
+    removed = cache.evict(1)
+    assert removed.item == 1
+    assert 1 not in cache
+    with pytest.raises(KeyError):
+        cache.evict(1)
+
+
+def test_evict_lru_empty_raises():
+    cache = LRUCache(1)
+    with pytest.raises(KeyError):
+        cache.evict_lru()
+
+
+def test_lru_entries_window():
+    cache = LRUCache(5)
+    for item in range(5):
+        cache.insert(entry(item), now=float(item))
+    least = cache.lru_entries(3)
+    assert [e.item for e in least] == [0, 1, 2]
+    assert [e.item for e in cache.lru_entries(99)] == [0, 1, 2, 3, 4]
+
+
+def test_counters():
+    cache = LRUCache(1)
+    cache.insert(entry(1), now=0.0)
+    cache.insert(entry(2), now=1.0)
+    assert cache.insertions == 2
+    assert cache.evictions == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_iteration_order_is_lru_to_mru():
+    cache = LRUCache(3)
+    for item in (1, 2, 3):
+        cache.insert(entry(item), now=0.0)
+    cache.touch(1, now=1.0)
+    assert list(cache) == [2, 3, 1]
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "touch", "evict"]), st.integers(0, 9)),
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50)
+def test_lru_invariants_random_operations(operations, capacity):
+    """Size never exceeds capacity; eviction victim is always the LRU item."""
+    cache = LRUCache(capacity)
+    model = []  # items LRU -> MRU
+    for step, (op, item) in enumerate(operations):
+        now = float(step)
+        if op == "insert":
+            evicted = cache.insert(entry(item), now=now)
+            if item in model:
+                model.remove(item)
+                assert evicted is None
+            elif len(model) >= capacity:
+                assert evicted is not None and evicted.item == model.pop(0)
+            else:
+                assert evicted is None
+            model.append(item)
+        elif op == "touch":
+            if item in model:
+                cache.touch(item, now=now)
+                model.remove(item)
+                model.append(item)
+            else:
+                with pytest.raises(KeyError):
+                    cache.touch(item, now=now)
+        else:  # evict
+            if item in model:
+                cache.evict(item)
+                model.remove(item)
+            else:
+                with pytest.raises(KeyError):
+                    cache.evict(item)
+        assert len(cache) <= capacity
+        assert cache.items() == model

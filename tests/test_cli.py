@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, _config_from_args, build_parser, main
+from repro.core.config import CachingScheme
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        parse([])
+
+
+def test_run_defaults():
+    args = parse(["run"])
+    config = _config_from_args(args)
+    assert config.scheme is CachingScheme.GC
+    assert config.n_clients == 100  # library default
+
+
+def test_run_overrides_map_to_config():
+    args = parse(
+        [
+            "run",
+            "--scheme",
+            "CC",
+            "--clients",
+            "10",
+            "--data",
+            "500",
+            "--cache-size",
+            "12",
+            "--access-range",
+            "50",
+            "--theta",
+            "0.9",
+            "--group-size",
+            "2",
+            "--update-rate",
+            "1.5",
+            "--p-disc",
+            "0.1",
+            "--requests",
+            "5",
+            "--seed",
+            "3",
+            "--no-ndp",
+        ]
+    )
+    config = _config_from_args(args)
+    assert config.scheme is CachingScheme.CC
+    assert config.n_clients == 10
+    assert config.n_data == 500
+    assert config.cache_size == 12
+    assert config.access_range == 50
+    assert config.theta == 0.9
+    assert config.group_size == 2
+    assert config.data_update_rate == 1.5
+    assert config.p_disc == 0.1
+    assert config.measure_requests == 5
+    assert config.seed == 3
+    assert config.ndp_enabled is False
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        parse(["run", "--scheme", "XX"])
+
+
+def test_figure_choices_cover_all_paper_figures():
+    assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)}
+    with pytest.raises(SystemExit):
+        parse(["figure", "fig99"])
+
+
+def test_main_run_executes(capsys):
+    code = main(
+        [
+            "run",
+            "--clients",
+            "6",
+            "--data",
+            "200",
+            "--cache-size",
+            "8",
+            "--access-range",
+            "40",
+            "--requests",
+            "3",
+            "--group-size",
+            "3",
+            "--no-ndp",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "access latency" in out
+    assert "server request ratio" in out
+
+
+def test_main_compare_executes(capsys):
+    code = main(
+        [
+            "compare",
+            "--clients",
+            "6",
+            "--data",
+            "200",
+            "--cache-size",
+            "8",
+            "--access-range",
+            "40",
+            "--requests",
+            "3",
+            "--group-size",
+            "3",
+            "--no-ndp",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    for scheme in ("LC", "CC", "GC"):
+        assert f"--- {scheme} ---" in out
+
+
+def test_main_figure_executes(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    # Shrink the sweep through the profile hook for a fast smoke test.
+    from repro.experiments import runner
+
+    monkeypatch.setitem(runner._PROFILES, "quick", dict(
+        runner.QUICK_PROFILE,
+        n_clients=6,
+        n_data=200,
+        access_range=20,
+        cache_size=5,
+        measure_requests=3,
+        warmup_min_time=0.0,
+        warmup_max_time=30.0,
+    ))
+    code = main(["figure", "fig3", "--profile", "quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "(a) Access Latency" in out
+    assert "GC" in out

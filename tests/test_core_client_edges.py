@@ -1,0 +1,147 @@
+"""Edge-case tests for client internals: history reporting, signature
+recollection batching, OutstandSigList triggers and warm-up mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.sim import Environment
+
+from tests.test_core_client_protocol import NEAR, World
+
+
+def test_take_history_portion_respects_rho():
+    world = World(NEAR, scheme=CachingScheme.GC, explicit_update_portion=0.5)
+    client = world.clients[0]
+    client._peer_history = list(range(10))
+    report = client._take_history_portion()
+    assert len(report) == 5
+    assert set(report) <= set(range(10))
+    assert client._peer_history == []  # history cleared after reporting
+
+
+def test_take_history_portion_empty():
+    world = World(NEAR, scheme=CachingScheme.GC)
+    assert world.clients[0]._take_history_portion() == []
+
+
+def test_take_history_portion_zero_rho_reports_nothing():
+    world = World(NEAR, scheme=CachingScheme.GC, explicit_update_portion=0.0)
+    client = world.clients[0]
+    client._peer_history = [1, 2, 3]
+    assert client._take_history_portion() == []
+    assert client._peer_history == []
+
+
+def test_take_history_portion_reports_at_least_one():
+    world = World(NEAR, scheme=CachingScheme.GC, explicit_update_portion=0.1)
+    client = world.clients[0]
+    client._peer_history = [7]
+    assert client._take_history_portion() == [7]
+
+
+def test_membership_add_triggers_signature_collection():
+    world = World(NEAR, scheme=CachingScheme.GC)
+    client = world.clients[0]
+    world.give_item(1, item=9)
+    client._apply_membership_changes({1}, set())
+    world.env.run(until=5.0)
+    assert client.signatures.likely_cached_by_members(9)
+    assert client.signatures.outstanding == set()
+
+
+def test_membership_departure_recollects_from_remaining():
+    world = World(
+        [(0.0, 0.0), (30.0, 0.0), (0.0, 30.0)], scheme=CachingScheme.GC
+    )
+    client = world.clients[0]
+    world.give_item(1, item=9)
+    world.give_item(2, item=11)
+    client._apply_membership_changes({1, 2}, set())
+    world.env.run(until=5.0)
+    assert client.signatures.likely_cached_by_members(9)
+    # Member 2 departs: the vector resets and is recollected from member 1.
+    client._apply_membership_changes(set(), {2})
+    world.env.run(until=10.0)
+    assert client.signatures.likely_cached_by_members(9)
+    assert not client.signatures.likely_cached_by_members(11)
+
+
+def test_outstanding_peer_request_triggers_sig_request():
+    world = World(NEAR, scheme=CachingScheme.GC)
+    listener, talker = world.clients
+    world.give_item(talker.index, item=9)
+    listener.signatures.members.add(talker.index)
+    listener.signatures.outstanding.add(talker.index)
+    # The talker broadcasts a search; the listener hears a message from an
+    # OutstandSigList peer and must fetch its signature.
+    world.config.signature_filtering = False
+    world.access(talker.index, 42)
+    world.env.run(until=world.env.now + 10.0)
+    assert listener.signatures.outstanding == set()
+    assert listener.signatures.likely_cached_by_members(9)
+
+
+def test_disconnected_client_unreachable_for_search():
+    from repro.core.metrics import RequestOutcome
+
+    world = World(NEAR, scheme=CachingScheme.CC)
+    world.give_item(1, item=7)
+    world.network.set_connected(1, False)
+    world.clients[1].connected = False
+    world.access(0, 7)
+    assert world.metrics.outcomes[RequestOutcome.SERVER] == 1
+
+
+def test_simulation_warmup_respects_min_time():
+    config = SimulationConfig(
+        scheme=CachingScheme.LC,
+        n_clients=4,
+        n_data=100,
+        access_range=20,
+        cache_size=3,  # fills almost immediately
+        warmup_min_time=120.0,
+        warmup_max_time=200.0,
+        ndp_enabled=False,
+        measure_requests=2,
+    )
+    sim = Simulation(config)
+    end_of_warmup = sim.warm_up()
+    assert end_of_warmup >= 120.0
+
+
+def test_simulation_warmup_gives_up_at_cap():
+    config = SimulationConfig(
+        scheme=CachingScheme.LC,
+        n_clients=4,
+        n_data=100,
+        access_range=20,
+        cache_size=50,  # larger than the access range: never fills
+        warmup_min_time=0.0,
+        warmup_max_time=60.0,
+        ndp_enabled=False,
+        measure_requests=2,
+    )
+    sim = Simulation(config)
+    end_of_warmup = sim.warm_up()
+    assert 60.0 <= end_of_warmup < 80.0
+    assert not sim.caches_full()
+
+
+def test_simulation_hard_stop_at_max_sim_time():
+    config = SimulationConfig(
+        scheme=CachingScheme.LC,
+        n_clients=3,
+        n_data=100,
+        access_range=20,
+        cache_size=3,
+        warmup_min_time=0.0,
+        warmup_max_time=30.0,
+        ndp_enabled=False,
+        measure_requests=100_000,  # unreachable
+        max_sim_time=100.0,
+    )
+    results = Simulation(config).run()
+    assert results.sim_time <= 110.0
+    assert results.requests > 0

@@ -1,0 +1,147 @@
+"""Tests for SimulationConfig and Metrics/Results."""
+
+import math
+
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Metrics, RequestOutcome
+from repro.net.power import PowerLedger
+
+
+def test_scheme_flags():
+    assert not CachingScheme.LC.cooperative
+    assert CachingScheme.CC.cooperative
+    assert CachingScheme.GC.cooperative
+    assert CachingScheme.GC.group_based
+    assert not CachingScheme.CC.group_based
+
+
+def test_config_defaults_are_valid():
+    config = SimulationConfig()
+    assert config.n_clients == 100
+    assert config.n_data == 10_000
+    assert config.cache_size == 100
+    assert config.scheme is CachingScheme.GC
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"n_clients": 0},
+        {"cache_size": 0},
+        {"access_range": 0},
+        {"access_range": 20_000},
+        {"hop_dist": 0},
+        {"p_disc": 1.5},
+        {"disc_min": 10.0, "disc_max": 5.0},
+        {"omega": -0.1},
+        {"alpha": 1.5},
+        {"explicit_update_portion": 2.0},
+        {"group_size": 0},
+        {"replace_candidate": 0},
+        {"replace_delay": 0},
+        {"measure_requests": 0},
+    ],
+)
+def test_config_validation(overrides):
+    with pytest.raises(ValueError):
+        SimulationConfig(**overrides)
+
+
+def test_with_scheme_and_replace():
+    config = SimulationConfig()
+    lc = config.with_scheme(CachingScheme.LC)
+    assert lc.scheme is CachingScheme.LC
+    assert lc.n_clients == config.n_clients
+    small = config.replace(n_clients=10, cache_size=5)
+    assert small.n_clients == 10
+    assert config.n_clients == 100  # original untouched
+
+
+def test_metrics_ignores_before_recording():
+    metrics = Metrics("GC")
+    metrics.record_request(0, RequestOutcome.LOCAL_HIT, 0.1)
+    metrics.record_validation(True)
+    metrics.record_search(False)
+    assert metrics.requests == 0
+    assert metrics.validations == 0
+    assert metrics.peer_searches == 0
+
+
+def test_metrics_counts_and_ratios():
+    metrics = Metrics("CC")
+    ledger = PowerLedger(2)
+    metrics.start_recording(10.0, ledger, n_clients=2)
+    metrics.record_request(0, RequestOutcome.LOCAL_HIT, 0.0)
+    metrics.record_request(0, RequestOutcome.GLOBAL_HIT, 0.01, from_tcg=True)
+    metrics.record_request(1, RequestOutcome.SERVER, 0.05)
+    metrics.record_request(1, RequestOutcome.SERVER, 0.03)
+    ledger.charge(0, 100.0, "data")
+    ledger.charge(0, 20.0, "signature")
+    ledger.charge(1, 50.0, "beacon")
+    results = metrics.results(20.0, ledger)
+    assert results.requests == 4
+    assert results.lch_ratio == pytest.approx(25.0)
+    assert results.gch_ratio == pytest.approx(25.0)
+    assert results.server_request_ratio == pytest.approx(50.0)
+    assert results.global_hits_tcg == 1
+    assert results.access_latency == pytest.approx((0 + 0.01 + 0.05 + 0.03) / 4)
+    assert results.power_per_gch == pytest.approx(120.0)  # data + signature
+    assert results.measured_time == pytest.approx(10.0)
+
+
+def test_metrics_power_baseline_subtracted():
+    metrics = Metrics("CC")
+    ledger = PowerLedger(1)
+    ledger.charge(0, 500.0, "data")  # warm-up consumption
+    metrics.start_recording(0.0, ledger, n_clients=1)
+    metrics.record_request(0, RequestOutcome.GLOBAL_HIT, 0.01)
+    ledger.charge(0, 80.0, "data")
+    results = metrics.results(1.0, ledger)
+    assert results.power_data == pytest.approx(80.0)
+    assert results.power_per_gch == pytest.approx(80.0)
+
+
+def test_metrics_beacon_power_optional():
+    metrics = Metrics("CC")
+    ledger = PowerLedger(1)
+    metrics.start_recording(0.0, ledger, n_clients=1)
+    metrics.record_request(0, RequestOutcome.GLOBAL_HIT, 0.01)
+    ledger.charge(0, 10.0, "data")
+    ledger.charge(0, 7.0, "beacon")
+    assert metrics.results(1.0, ledger).power_per_gch == pytest.approx(10.0)
+    assert metrics.results(
+        1.0, ledger, count_beacon_power=True
+    ).power_per_gch == pytest.approx(17.0)
+
+
+def test_metrics_power_per_gch_inf_without_hits():
+    metrics = Metrics("LC")
+    ledger = PowerLedger(1)
+    metrics.start_recording(0.0, ledger, n_clients=1)
+    metrics.record_request(0, RequestOutcome.SERVER, 0.1)
+    assert math.isinf(metrics.results(1.0, ledger).power_per_gch)
+
+
+def test_metrics_min_client_requests():
+    metrics = Metrics("GC")
+    ledger = PowerLedger(3)
+    assert metrics.min_client_requests() == 0
+    metrics.start_recording(0.0, ledger, n_clients=3)
+    metrics.record_request(0, RequestOutcome.LOCAL_HIT, 0.0)
+    metrics.record_request(0, RequestOutcome.LOCAL_HIT, 0.0)
+    metrics.record_request(2, RequestOutcome.LOCAL_HIT, 0.0)
+    assert metrics.min_client_requests() == 0  # client 1 has none
+    metrics.record_request(1, RequestOutcome.LOCAL_HIT, 0.0)
+    assert metrics.min_client_requests() == 1
+
+
+def test_results_as_dict_keys():
+    metrics = Metrics("GC")
+    ledger = PowerLedger(1)
+    metrics.start_recording(0.0, ledger, n_clients=1)
+    data = metrics.results(1.0, ledger).as_dict()
+    assert {"scheme", "access_latency", "server_request_ratio", "gch_ratio"} <= set(
+        data
+    )

@@ -1,0 +1,194 @@
+"""Tests for the broadcast schedule and the delivery-model systems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.workload import build_access_patterns
+from repro.delivery import (
+    BroadcastSchedule,
+    HybridSystem,
+    ListeningPower,
+    PushSystem,
+    compare_delivery_models,
+)
+from repro.delivery.models import aggregate_popularity
+
+
+def flat(n_items=10, item_bytes=1000, index_bytes=250, bw=8000.0, m=5):
+    # item_time = 1 s, index_time = 0.25 s, segment = 5.25 s, 2 segments.
+    return BroadcastSchedule(n_items, item_bytes, index_bytes, bw, m)
+
+
+# -- schedule arithmetic ---------------------------------------------------------
+
+
+def test_schedule_times():
+    schedule = flat()
+    assert schedule.item_time == pytest.approx(1.0)
+    assert schedule.index_time == pytest.approx(0.25)
+    assert schedule.segment_time == pytest.approx(5.25)
+    assert schedule.segments == 2
+    assert schedule.cycle_time == pytest.approx(10.5)
+
+
+def test_item_slot_start():
+    schedule = flat()
+    assert schedule.item_slot_start(0, 0.0) == pytest.approx(0.25)
+    assert schedule.item_slot_start(4, 0.0) == pytest.approx(4.25)
+    assert schedule.item_slot_start(5, 0.0) == pytest.approx(5.5)  # segment 2
+    with pytest.raises(IndexError):
+        schedule.item_slot_start(10, 0.0)
+
+
+def test_next_index_end():
+    schedule = flat()
+    assert schedule.next_index_end(0.0) == pytest.approx(0.25)
+    # Mid-index: cannot decode it, wait for the next segment's index.
+    assert schedule.next_index_end(0.1) == pytest.approx(5.5)
+    assert schedule.next_index_end(1.0) == pytest.approx(5.5)
+    assert schedule.next_index_end(5.25) == pytest.approx(5.5)
+
+
+def test_tune_waits_for_index_then_item():
+    schedule = flat()
+    outcome = schedule.tune(3, 0.0)
+    # index [0, .25], doze to slot at 3.25, receive until 4.25.
+    assert outcome.latency == pytest.approx(4.25)
+    assert outcome.active_time == pytest.approx(0.25 + 1.0)
+    assert outcome.doze_time == pytest.approx(3.0)
+
+
+def test_tune_wraps_to_next_cycle():
+    schedule = flat()
+    # At t=4.5 the next decodable index ends at 5.5; item 0's next slot is
+    # in the following cycle at 10.75.
+    outcome = schedule.tune(0, 4.5)
+    assert outcome.latency == pytest.approx(10.75 + 1.0 - 4.5)
+    assert outcome.doze_time == pytest.approx(10.75 - 5.5)
+
+
+def test_tune_latency_bounded_by_cycle_plus_segment():
+    schedule = flat()
+    bound = schedule.cycle_time + schedule.segment_time + schedule.item_time
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        item = int(rng.integers(0, 10))
+        t = float(rng.uniform(0, 50))
+        outcome = schedule.tune(item, t)
+        assert 0 < outcome.latency <= bound
+        assert outcome.active_time + outcome.doze_time <= outcome.latency + 1e-9
+
+
+def test_expected_latency_matches_samples():
+    schedule = flat()
+    rng = np.random.default_rng(1)
+    samples = [
+        schedule.tune(int(rng.integers(0, 10)), float(rng.uniform(0, 42))).latency
+        for _ in range(3000)
+    ]
+    assert np.mean(samples) == pytest.approx(schedule.expected_latency(), rel=0.1)
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        BroadcastSchedule(0, 10, 10, 100.0, 1)
+    with pytest.raises(ValueError):
+        BroadcastSchedule(5, 0, 10, 100.0, 1)
+    with pytest.raises(ValueError):
+        BroadcastSchedule(5, 10, 10, 0.0, 1)
+    with pytest.raises(ValueError):
+        BroadcastSchedule(5, 10, 10, 100.0, 0)
+
+
+def test_index_every_capped_at_disk_size():
+    schedule = BroadcastSchedule(3, 1000, 250, 8000.0, index_every=50)
+    assert schedule.index_every == 3
+    assert schedule.segments == 1
+
+
+# -- listening power ----------------------------------------------------------------
+
+
+def test_listening_cost():
+    power = ListeningPower(active_uw=1000.0, doze_uw=10.0)
+    assert power.cost(2.0, 3.0) == pytest.approx(2030.0)
+    with pytest.raises(ValueError):
+        power.cost(-1.0, 0.0)
+
+
+def test_doze_cheaper_than_active_default():
+    power = ListeningPower()
+    assert power.doze_uw < power.active_uw / 10
+
+
+# -- aggregate popularity ------------------------------------------------------------
+
+
+def test_aggregate_popularity_sums_to_one_and_ranks_hot_first():
+    rng = np.random.default_rng(2)
+    patterns = build_access_patterns(rng, [0, 0, 1, 1], 100, 20, 1.0)
+    popularity = aggregate_popularity(patterns, 100)
+    assert popularity.sum() == pytest.approx(1.0)
+    hottest = int(np.argmax(popularity))
+    starts = {pattern.item_for_rank(0) for pattern in patterns}
+    assert hottest in starts  # a rank-0 item of some group is globally hottest
+
+
+# -- systems ---------------------------------------------------------------------------
+
+
+def test_push_system_runs_and_all_requests_from_air():
+    results = PushSystem(
+        n_clients=5, n_data=100, access_range=20, theta=0.5, seed=3
+    ).run(requests_per_client=5)
+    assert results.model == "push"
+    assert results.requests >= 25
+    assert results.pushed_fraction == 1.0
+    assert results.server_requests == 0
+    assert results.access_latency > 0
+    assert results.power_per_request > 0
+
+
+def test_hybrid_system_splits_hot_and_cold():
+    results = HybridSystem(
+        n_clients=5,
+        n_data=100,
+        access_range=50,
+        theta=0.5,
+        hot_items=20,
+        seed=3,
+    ).run(requests_per_client=10)
+    assert 0.0 < results.pushed_fraction < 1.0
+    assert results.server_requests > 0
+
+
+def test_hybrid_all_hot_equals_pure_push_routing():
+    results = HybridSystem(
+        n_clients=4, n_data=50, access_range=10, theta=0.5, hot_items=50, seed=4
+    ).run(requests_per_client=5)
+    assert results.pushed_fraction == 1.0
+
+
+def test_hybrid_validation():
+    with pytest.raises(ValueError):
+        HybridSystem(2, 50, 10, 0.5, hot_items=0)
+
+
+def test_compare_delivery_models_section1_shapes():
+    out = compare_delivery_models(
+        n_clients=8,
+        n_data=400,
+        access_range=80,
+        hot_items=80,
+        requests_per_client=8,
+        seed=5,
+    )
+    assert set(out) == {"pull", "push", "hybrid"}
+    pull, push, hybrid = out["pull"], out["push"], out["hybrid"]
+    # The paper's Section I: push pays cycle-bound latency and doze energy.
+    assert push.access_latency > 10 * pull.access_latency
+    assert push.power_per_request > pull.power_per_request
+    # Hybrid sits between the two on latency.
+    assert pull.access_latency < hybrid.access_latency < push.access_latency

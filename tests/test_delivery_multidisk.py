@@ -1,0 +1,126 @@
+"""Tests for the multi-disk broadcast schedule."""
+
+import numpy as np
+import pytest
+
+from repro.delivery import BroadcastSchedule, MultiDiskSchedule
+
+
+def two_disk(
+    hot=(0, 1), cold=(2, 3, 4, 5), freqs=(2, 1), item_bytes=1000, bw=8000.0, m=4
+):
+    # item_time = 1 s, index_time = 0.25 s.
+    return MultiDiskSchedule([list(hot), list(cold)], list(freqs), item_bytes, 250, bw, m)
+
+
+def test_slot_sequence_interleaves_disks():
+    schedule = two_disk()
+    # L = 2 minor cycles; hot disk chunk = all of (0,1) each cycle; cold
+    # disk split into 2 chunks (2,3) and (4,5).
+    assert schedule.slots == [0, 1, 2, 3, 0, 1, 4, 5]
+
+
+def test_hot_items_broadcast_more_often():
+    schedule = two_disk()
+    assert schedule.broadcasts_per_cycle(0) == 2
+    assert schedule.broadcasts_per_cycle(3) == 1
+
+
+def test_cycle_time_and_segments():
+    schedule = two_disk()
+    # 8 data slots, index every 4 -> 2 segments of 0.25 + 4 s.
+    assert schedule.segments == 2
+    assert schedule.segment_time == pytest.approx(4.25)
+    assert schedule.cycle_time == pytest.approx(8.5)
+
+
+def test_tune_finds_earliest_occurrence():
+    schedule = two_disk()
+    # Tune at t=0: index ends 0.25; item 0's first slot begins at 0.25.
+    outcome = schedule.tune(0, 0.0)
+    assert outcome.latency == pytest.approx(1.25)
+    # Item 4 is in the second segment: slot starts at 4.25+0.25+2 = 6.5.
+    outcome4 = schedule.tune(4, 0.0)
+    assert outcome4.latency == pytest.approx(7.5)
+
+
+def test_tune_mid_cycle_catches_second_occurrence():
+    schedule = two_disk()
+    # At t=2.0 the next index ends at 4.5; item 0's next slot is the
+    # second-segment occurrence at 4.5 -> received 5.5.
+    outcome = schedule.tune(0, 2.0)
+    assert outcome.latency == pytest.approx(3.5)
+
+
+def test_tune_wraps_to_next_cycle():
+    schedule = two_disk()
+    # At t=6.0, index ends 8.75 (next cycle); item 2's slot at 8.75+1... it
+    # is the third data slot of cycle 2: starts 8.5+0.25+2 = 10.75.
+    outcome = schedule.tune(2, 6.0)
+    assert outcome.latency == pytest.approx(10.75 + 1.0 - 6.0)
+
+
+def test_unknown_item_rejected():
+    schedule = two_disk()
+    with pytest.raises(KeyError):
+        schedule.tune(99, 0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiDiskSchedule([], [], 10, 10, 100.0, 1)
+    with pytest.raises(ValueError):
+        MultiDiskSchedule([[1]], [0], 10, 10, 100.0, 1)
+    with pytest.raises(ValueError):
+        MultiDiskSchedule([[1], []], [1, 1], 10, 10, 100.0, 1)
+    with pytest.raises(ValueError):
+        MultiDiskSchedule([[1], [1]], [1, 1], 10, 10, 100.0, 1)  # duplicate
+    with pytest.raises(ValueError):
+        MultiDiskSchedule([[1]], [1], 0, 10, 100.0, 1)
+
+
+def test_hot_latency_beats_cold_latency_statistically():
+    hot = list(range(10))
+    cold = list(range(10, 100))
+    schedule = MultiDiskSchedule([hot, cold], [4, 1], 1000, 250, 8000.0, 10)
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0, 4 * schedule.cycle_time, size=300)
+    hot_latency = np.mean([schedule.tune(0, t).latency for t in times])
+    cold_latency = np.mean([schedule.tune(50, t).latency for t in times])
+    assert hot_latency < cold_latency / 2
+
+
+def test_multidisk_beats_flat_disk_on_skewed_workload():
+    """The broadcast-disks payoff: mean latency under Zipf accesses."""
+    n_items, m = 60, 10
+    hot, cold = list(range(12)), list(range(12, n_items))
+    multi = MultiDiskSchedule([hot, cold], [4, 1], 1000, 250, 8000.0, m)
+    flat = BroadcastSchedule(n_items, 1000, 250, 8000.0, m)
+    rng = np.random.default_rng(1)
+    # Skewed accesses: 80% of requests go to the hot set.
+    items = np.where(
+        rng.random(400) < 0.8,
+        rng.integers(0, 12, size=400),
+        rng.integers(12, n_items, size=400),
+    )
+    times = rng.uniform(0, 10 * flat.cycle_time, size=400)
+    multi_mean = np.mean(
+        [multi.tune(int(i), float(t)).latency for i, t in zip(items, times)]
+    )
+    flat_mean = np.mean(
+        [flat.tune(int(i), float(t)).latency for i, t in zip(items, times)]
+    )
+    assert multi_mean < flat_mean
+
+
+def test_tune_outcome_times_consistent():
+    schedule = two_disk()
+    rng = np.random.default_rng(2)
+    for _ in range(100):
+        item = int(rng.integers(0, 6))
+        t = float(rng.uniform(0, 30))
+        outcome = schedule.tune(item, t)
+        assert outcome.active_time + outcome.doze_time == pytest.approx(
+            outcome.latency
+        )
+        assert outcome.latency > 0

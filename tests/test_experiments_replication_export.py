@@ -1,0 +1,141 @@
+"""Tests for multi-replication summaries and CSV export."""
+
+import csv
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.experiments import (
+    SweepTable,
+    run_replications,
+    sweep_to_csv,
+    sweep_to_rows,
+)
+from repro.experiments.replication import MetricSummary, summarise
+from tests.test_experiments import make_results
+
+
+# -- summarise ----------------------------------------------------------------
+
+
+def test_summarise_single_value():
+    summary = summarise([3.0], confidence=0.95)
+    assert summary.mean == 3.0
+    assert summary.half_width == 0.0
+    assert summary.n == 1
+
+
+def test_summarise_matches_scipy_t_interval():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    summary = summarise(values, confidence=0.95)
+    assert summary.mean == pytest.approx(3.0)
+    expected_std = np.std(values, ddof=1)
+    assert summary.stddev == pytest.approx(expected_std)
+    # t(0.975, df=4) = 2.7764
+    assert summary.half_width == pytest.approx(
+        2.7764 * expected_std / math.sqrt(5), rel=1e-3
+    )
+    assert summary.low < summary.mean < summary.high
+
+
+def test_summarise_skips_non_finite():
+    summary = summarise([1.0, math.inf, 2.0], confidence=0.9)
+    assert summary.n == 2
+    assert summary.mean == pytest.approx(1.5)
+
+
+def test_summarise_all_non_finite():
+    summary = summarise([math.inf, math.inf], confidence=0.9)
+    assert summary.n == 0
+    assert math.isinf(summary.mean)
+
+
+def test_metric_summary_str():
+    text = str(MetricSummary(mean=1.5, stddev=0.1, half_width=0.2, n=4))
+    assert "1.5" in text and "n=4" in text
+
+
+# -- run_replications -------------------------------------------------------------
+
+
+def small_config():
+    return SimulationConfig(
+        scheme=CachingScheme.CC,
+        n_clients=8,
+        n_data=200,
+        access_range=40,
+        cache_size=8,
+        group_size=4,
+        measure_requests=10,
+        warmup_min_time=60.0,
+        warmup_max_time=90.0,
+        ndp_enabled=False,
+        seed=100,
+    )
+
+
+def test_run_replications_paired_and_summarised():
+    outcome = run_replications(
+        small_config(),
+        replications=3,
+        schemes=(CachingScheme.LC, CachingScheme.CC),
+    )
+    assert set(outcome) == {"LC", "CC"}
+    for summary in outcome.values():
+        assert len(summary.runs) == 3
+        assert summary["server_request_ratio"].n == 3
+        assert 0 <= summary["server_request_ratio"].mean <= 100
+    # Replications differ (different seeds) so the stddev is meaningful.
+    lc = outcome["LC"]
+    assert lc["server_request_ratio"].stddev >= 0.0
+
+
+def test_run_replications_reproducible():
+    kwargs = dict(replications=2, schemes=(CachingScheme.LC,))
+    first = run_replications(small_config(), **kwargs)
+    second = run_replications(small_config(), **kwargs)
+    assert (
+        first["LC"]["server_request_ratio"].mean
+        == second["LC"]["server_request_ratio"].mean
+    )
+
+
+def test_run_replications_validation():
+    with pytest.raises(ValueError):
+        run_replications(small_config(), replications=0)
+    with pytest.raises(ValueError):
+        run_replications(small_config(), confidence=1.5)
+
+
+# -- CSV export ----------------------------------------------------------------------
+
+
+def make_table():
+    table = SweepTable(figure="Fig2", parameter="cache_size", values=[50, 100])
+    table.rows["LC"] = [make_results(scheme="LC"), make_results(scheme="LC")]
+    table.rows["GC"] = [make_results(scheme="GC"), make_results(scheme="GC", gch=20)]
+    return table
+
+
+def test_sweep_to_rows_shape():
+    rows = sweep_to_rows(make_table())
+    assert len(rows) == 4
+    assert {row["scheme"] for row in rows} == {"LC", "GC"}
+    assert {row["value"] for row in rows} == {50, 100}
+    assert all(row["figure"] == "Fig2" for row in rows)
+
+
+def test_sweep_to_csv_roundtrip(tmp_path):
+    path = tmp_path / "fig2.csv"
+    text = sweep_to_csv(make_table(), path)
+    assert path.read_text() == text
+    reader = csv.DictReader(io.StringIO(text))
+    rows = list(reader)
+    assert len(rows) == 4
+    gc_100 = next(
+        r for r in rows if r["scheme"] == "GC" and r["value"] == "100"
+    )
+    assert float(gc_100["gch_ratio"]) == pytest.approx(20.0)

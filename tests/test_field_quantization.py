@@ -1,0 +1,64 @@
+"""The snapshot-quantisation error bound used by the simulator.
+
+DESIGN.md claims that quantising snapshot times to ``resolution`` bounds
+the position error by ``v_max * resolution``; these tests hold the code to
+that claim.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import MobilityField, RandomWaypointTrajectory, Rectangle
+
+AREA = Rectangle(500.0, 500.0)
+V_MAX = 5.0
+RESOLUTION = 0.1
+
+
+def build_fields(seed, n=5):
+    rng_a = np.random.default_rng(seed)
+    exact = MobilityField(
+        [RandomWaypointTrajectory(rng_a, AREA, 1.0, V_MAX) for _ in range(n)],
+        resolution=0.0,
+    )
+    rng_b = np.random.default_rng(seed)  # identical trajectories
+    quantised = MobilityField(
+        [RandomWaypointTrajectory(rng_b, AREA, 1.0, V_MAX) for _ in range(n)],
+        resolution=RESOLUTION,
+    )
+    return exact, quantised
+
+
+@given(st.floats(min_value=0.0, max_value=500.0), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_quantised_positions_within_speed_bound(t, seed):
+    exact, quantised = build_fields(seed)
+    error = np.linalg.norm(exact.positions(t) - quantised.positions(t), axis=1)
+    assert (error <= V_MAX * RESOLUTION + 1e-9).all()
+
+
+def test_quantisation_bucket_shares_snapshot():
+    _, quantised = build_fields(3)
+    a = quantised.positions(10.01)
+    b = quantised.positions(10.09)
+    assert a is b  # same 0.1 s bucket
+    c = quantised.positions(10.11)
+    assert c is not a
+
+
+def test_zero_resolution_is_exact():
+    exact, _ = build_fields(4)
+    a = exact.positions(1.23456)
+    b = exact.positions(1.23457)
+    assert a is not b
+
+
+def test_negative_resolution_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        MobilityField(
+            [RandomWaypointTrajectory(np.random.default_rng(0), AREA, 1.0, 2.0)],
+            resolution=-1.0,
+        )

@@ -1,0 +1,285 @@
+"""Unit + property tests for the mobility substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import (
+    GroupMemberTrajectory,
+    MobilityField,
+    RandomWaypointTrajectory,
+    Rectangle,
+    StationaryTrajectory,
+    build_group_mobility,
+)
+from repro.mobility.geometry import euclidean, random_point_in_disc
+from repro.mobility.trajectory import PiecewiseLinearTrajectory, Segment
+
+AREA = Rectangle(1000.0, 1000.0)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# -- geometry ---------------------------------------------------------------
+
+
+def test_rectangle_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Rectangle(0.0, 10.0)
+
+
+def test_rectangle_contains_and_clamp():
+    area = Rectangle(10.0, 20.0)
+    assert area.contains(np.array([5.0, 5.0]))
+    assert not area.contains(np.array([11.0, 5.0]))
+    clamped = area.clamp(np.array([-3.0, 25.0]))
+    assert clamped.tolist() == [0.0, 20.0]
+
+
+def test_rectangle_random_point_inside():
+    area = Rectangle(10.0, 20.0)
+    generator = rng()
+    for _ in range(100):
+        assert area.contains(area.random_point(generator))
+
+
+def test_rectangle_center_diagonal():
+    area = Rectangle(30.0, 40.0)
+    assert area.center.tolist() == [15.0, 20.0]
+    assert area.diagonal == pytest.approx(50.0)
+
+
+def test_euclidean():
+    assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+
+@given(st.floats(min_value=0.1, max_value=100.0), st.integers(0, 2**32 - 1))
+@settings(max_examples=30)
+def test_random_point_in_disc_within_radius(radius, seed):
+    x, y = random_point_in_disc(np.random.default_rng(seed), radius)
+    assert math.hypot(x, y) <= radius + 1e-9
+
+
+# -- trajectories -----------------------------------------------------------
+
+
+def test_segment_position_and_clamp():
+    segment = Segment(1.0, 3.0, np.array([0.0, 0.0]), np.array([2.0, 0.0]))
+    assert segment.position(2.0).tolist() == [2.0, 0.0]
+    assert segment.position(0.0).tolist() == [0.0, 0.0]  # clamped to start
+    assert segment.position(99.0).tolist() == [4.0, 0.0]  # clamped to end
+    assert segment.endpoint.tolist() == [4.0, 0.0]
+
+
+def test_stationary_trajectory():
+    trajectory = StationaryTrajectory([3.0, 4.0])
+    assert trajectory.position(0.0).tolist() == [3.0, 4.0]
+    assert trajectory.position(1e6).tolist() == [3.0, 4.0]
+
+
+def test_waypoint_stays_in_area():
+    trajectory = RandomWaypointTrajectory(rng(), AREA, 1.0, 5.0)
+    for t in np.linspace(0.0, 2000.0, 400):
+        assert AREA.contains(trajectory.position(t), tolerance=1e-6)
+
+
+def test_waypoint_is_continuous():
+    trajectory = RandomWaypointTrajectory(rng(1), AREA, 1.0, 5.0)
+    previous = trajectory.position(0.0)
+    dt = 0.25
+    for step in range(1, 2000):
+        current = trajectory.position(step * dt)
+        # speed bound: at most v_max * dt between samples.
+        assert euclidean(previous, current) <= 5.0 * dt + 1e-9
+        previous = current
+
+
+def test_waypoint_moves_at_bounded_speed():
+    trajectory = RandomWaypointTrajectory(rng(2), AREA, 2.0, 3.0, pause_time=0.0)
+    t, dt = 0.0, 0.01
+    speeds = []
+    for _ in range(500):
+        a = trajectory.position(t)
+        b = trajectory.position(t + dt)
+        speeds.append(euclidean(a, b) / dt)
+        t += dt
+    # Sampling may straddle a waypoint change, so test the bulk.
+    speeds = sorted(speeds)
+    assert speeds[10] >= 1.9
+    assert speeds[-1] <= 3.0 + 1e-6
+
+
+def test_waypoint_pause_segments_present():
+    trajectory = RandomWaypointTrajectory(rng(3), AREA, 5.0, 5.0, pause_time=1.0)
+    trajectory.position(2000.0)
+    pauses = [
+        segment
+        for segment in trajectory._segments
+        if np.allclose(segment.velocity, 0.0)
+    ]
+    assert pauses
+    assert all(
+        segment.end - segment.start == pytest.approx(1.0) for segment in pauses
+    )
+
+
+def test_waypoint_rejects_bad_speeds():
+    with pytest.raises(ValueError):
+        RandomWaypointTrajectory(rng(), AREA, 0.0, 5.0)
+    with pytest.raises(ValueError):
+        RandomWaypointTrajectory(rng(), AREA, 5.0, 1.0)
+
+
+def test_waypoint_rejects_start_outside_area():
+    with pytest.raises(ValueError):
+        RandomWaypointTrajectory(
+            rng(), AREA, 1.0, 2.0, start_point=np.array([2000.0, 0.0])
+        )
+
+
+def test_trajectory_rejects_past_query():
+    trajectory = RandomWaypointTrajectory(rng(), AREA, 1.0, 2.0, start_time=10.0)
+    trajectory.position(20.0)
+    with pytest.raises(ValueError):
+        trajectory.position(5.0)
+
+
+def test_trajectory_lazy_generation():
+    trajectory = RandomWaypointTrajectory(rng(4), AREA, 1.0, 5.0)
+    assert trajectory.segment_count == 0
+    trajectory.position(1.0)
+    few = trajectory.segment_count
+    trajectory.position(1000.0)
+    assert trajectory.segment_count > few
+
+
+def test_bad_subclass_segment_contract():
+    class Broken(PiecewiseLinearTrajectory):
+        def _next_segment(self, start, origin):
+            return Segment(start + 1.0, start + 2.0, origin, np.zeros(2))
+
+    broken = Broken(0.0, np.zeros(2))
+    with pytest.raises(ValueError):
+        broken.position(5.0)
+
+
+# -- group mobility -----------------------------------------------------------
+
+
+def test_group_member_tracks_reference_within_span():
+    reference = RandomWaypointTrajectory(rng(5), AREA, 1.0, 5.0)
+    member = GroupMemberTrajectory(reference, rng(6), span=50.0)
+    for t in np.linspace(0.0, 500.0, 200):
+        offset = euclidean(member.position(t), reference.position(t))
+        assert offset <= 50.0 + 1e-6
+
+
+def test_group_member_zero_span_equals_reference():
+    reference = RandomWaypointTrajectory(rng(7), AREA, 1.0, 5.0)
+    member = GroupMemberTrajectory(reference, rng(8), span=0.0)
+    for t in (0.0, 10.0, 123.4):
+        assert np.allclose(member.position(t), reference.position(t))
+
+
+def test_group_member_rejects_bad_params():
+    reference = StationaryTrajectory([0.0, 0.0])
+    with pytest.raises(ValueError):
+        GroupMemberTrajectory(reference, rng(), span=-1.0)
+    with pytest.raises(ValueError):
+        GroupMemberTrajectory(reference, rng(), span=1.0, leg_min=5.0, leg_max=1.0)
+
+
+def test_group_members_stay_mutually_close():
+    field, group_of = build_group_mobility(
+        rng(9), n_clients=10, group_size=5, area=AREA, v_min=1.0, v_max=5.0
+    )
+    for t in np.linspace(0.0, 300.0, 50):
+        positions = field.positions(t)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                if group_of[i] == group_of[j]:
+                    assert euclidean(positions[i], positions[j]) <= 100.0 + 1e-6
+
+
+def test_build_group_mobility_group_assignment():
+    field, group_of = build_group_mobility(
+        rng(10), n_clients=7, group_size=3, area=AREA, v_min=1.0, v_max=2.0
+    )
+    assert len(field) == 7
+    assert group_of == [0, 0, 0, 1, 1, 1, 2]
+
+
+def test_build_group_mobility_validates():
+    with pytest.raises(ValueError):
+        build_group_mobility(rng(), 0, 1, AREA, 1.0, 2.0)
+    with pytest.raises(ValueError):
+        build_group_mobility(rng(), 5, 0, AREA, 1.0, 2.0)
+
+
+# -- field queries -------------------------------------------------------------
+
+
+def grid_field():
+    points = [(0.0, 0.0), (30.0, 0.0), (90.0, 0.0), (0.0, 40.0)]
+    return MobilityField([StationaryTrajectory(p) for p in points])
+
+
+def test_field_positions_shape_and_cache():
+    field = grid_field()
+    a = field.positions(1.0)
+    assert a.shape == (4, 2)
+    assert field.positions(1.0) is a  # cached
+    assert field.positions(2.0) is not a
+
+
+def test_field_distance():
+    field = grid_field()
+    assert field.distance(0, 1, 0.0) == pytest.approx(30.0)
+    assert field.distance(0, 3, 0.0) == pytest.approx(40.0)
+
+
+def test_field_neighbors_of():
+    field = grid_field()
+    assert field.neighbors_of(0, 0.0, radius=50.0).tolist() == [1, 3]
+    assert field.neighbors_of(0, 0.0, radius=100.0).tolist() == [1, 2, 3]
+    assert field.neighbors_of(2, 0.0, radius=50.0).tolist() == []
+
+
+def test_field_neighbors_respects_mask():
+    field = grid_field()
+    mask = np.array([True, False, True, True])
+    assert field.neighbors_of(0, 0.0, radius=50.0, include_mask=mask).tolist() == [3]
+
+
+def test_field_within_range_includes_center_host():
+    field = grid_field()
+    found = field.within_range(np.array([0.0, 0.0]), 0.0, radius=35.0)
+    assert found.tolist() == [0, 1]
+
+
+def test_field_pairwise_distances_symmetric():
+    field = grid_field()
+    matrix = field.pairwise_distances(0.0)
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 0.0)
+    assert matrix[0, 2] == pytest.approx(90.0)
+
+
+def test_field_neighbor_symmetry_random():
+    field, _ = build_group_mobility(
+        rng(11), n_clients=20, group_size=4, area=AREA, v_min=1.0, v_max=5.0
+    )
+    for t in (0.0, 50.0, 100.0):
+        for i in range(20):
+            for j in field.neighbors_of(i, t, radius=100.0):
+                assert i in field.neighbors_of(int(j), t, radius=100.0)
+
+
+def test_field_requires_trajectories():
+    with pytest.raises(ValueError):
+        MobilityField([])

@@ -1,0 +1,330 @@
+"""Tests for the server channels and the P2P medium."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import MobilityField, StationaryTrajectory
+from repro.net import (
+    Message,
+    MessageKind,
+    P2PNetwork,
+    PowerLedger,
+    PowerModel,
+    ServerChannel,
+)
+from repro.sim import Environment
+
+
+# -- message basics -----------------------------------------------------------
+
+
+def test_message_positive_size_required():
+    with pytest.raises(ValueError):
+        Message(MessageKind.REQUEST, 0, None, 0)
+
+
+def test_message_uids_unique():
+    a = Message(MessageKind.REQUEST, 0, None, 10)
+    b = Message(MessageKind.REQUEST, 0, None, 10)
+    assert a.uid != b.uid
+
+
+def test_message_sizes_helpers():
+    from repro.net import MessageSizes
+
+    sizes = MessageSizes(data=3072, header=32)
+    assert sizes.data_message() == 3104
+    assert sizes.server_reply(membership_changes=3) == 3104 + 3 * 8
+    assert sizes.sig_reply(100) == 132
+
+
+# -- server channel -----------------------------------------------------------
+
+
+def test_server_channel_transfer_times():
+    env = Environment()
+    channel = ServerChannel(env, downlink_bps=8000.0, uplink_bps=800.0)
+    assert channel.downlink_time(1000) == pytest.approx(1.0)
+    assert channel.uplink_time(100) == pytest.approx(1.0)
+
+
+def test_server_channel_fcfs_queueing():
+    env = Environment()
+    channel = ServerChannel(env, downlink_bps=8000.0, uplink_bps=8000.0)
+    done = []
+
+    def sender(tag):
+        yield from channel.send_downlink(1000)  # 1 s each
+        done.append((tag, env.now))
+
+    for tag in range(3):
+        env.process(sender(tag))
+    env.run()
+    assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+    assert channel.bytes_down == 3000
+
+
+def test_server_channel_up_and_down_independent():
+    env = Environment()
+    channel = ServerChannel(env, downlink_bps=8000.0, uplink_bps=8000.0)
+    log = []
+
+    def up():
+        yield from channel.send_uplink(1000)
+        log.append(("up", env.now))
+
+    def down():
+        yield from channel.send_downlink(1000)
+        log.append(("down", env.now))
+
+    env.process(up())
+    env.process(down())
+    env.run()
+    assert sorted(log) == [("down", 1.0), ("up", 1.0)]
+
+
+def test_server_channel_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        ServerChannel(Environment(), 0, 100)
+
+
+# -- p2p fixtures ---------------------------------------------------------------
+
+
+def make_net(points, bandwidth=8000.0, tran_range=50.0):
+    env = Environment()
+    field = MobilityField([StationaryTrajectory(p) for p in points])
+    ledger = PowerLedger(len(points))
+    net = P2PNetwork(env, field, bandwidth, tran_range, ledger, PowerModel())
+    return env, net, ledger
+
+
+LINE = [(0.0, 0.0), (40.0, 0.0), (80.0, 0.0), (500.0, 0.0)]
+
+
+def test_broadcast_reaches_in_range_only():
+    env, net, _ = make_net(LINE)
+    received = []
+    for node in range(4):
+        net.register_handler(node, lambda m, n=node: received.append(n))
+
+    def proc():
+        msg = Message(MessageKind.REQUEST, 0, None, 100)
+        receivers = yield from net.broadcast(0, msg)
+        assert receivers == [1]
+
+    env.process(proc())
+    env.run()
+    assert received == [1]
+
+
+def test_broadcast_air_time_advances_clock():
+    env, net, _ = make_net(LINE, bandwidth=8000.0)
+    times = []
+
+    def proc():
+        yield from net.broadcast(0, Message(MessageKind.REQUEST, 0, None, 1000))
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [pytest.approx(1.0)]  # 1000 B * 8 / 8000 bps
+
+
+def test_broadcast_power_accounting():
+    env, net, ledger = make_net(LINE)
+    size = 100
+
+    def proc():
+        yield from net.broadcast(0, Message(MessageKind.REQUEST, 0, None, size))
+
+    env.process(proc())
+    env.run()
+    model = net.model
+    assert ledger.host_total(0) == pytest.approx(model.bc_send(size))
+    assert ledger.host_total(1) == pytest.approx(model.bc_recv(size))
+    assert ledger.host_total(2) == 0.0  # out of range
+    assert ledger.host_total(3) == 0.0
+
+
+def test_broadcast_skips_disconnected_receiver():
+    env, net, _ = make_net(LINE)
+    received = []
+    net.register_handler(1, lambda m: received.append(1))
+    net.set_connected(1, False)
+
+    def proc():
+        receivers = yield from net.broadcast(0, Message(MessageKind.REQUEST, 0, None, 64))
+        assert receivers == []
+
+    env.process(proc())
+    env.run()
+    assert received == []
+
+
+def test_broadcast_by_disconnected_sender_is_noop():
+    env, net, ledger = make_net(LINE)
+    net.set_connected(0, False)
+
+    def proc():
+        receivers = yield from net.broadcast(0, Message(MessageKind.REQUEST, 0, None, 64))
+        assert receivers == []
+
+    env.process(proc())
+    env.run()
+    assert ledger.total() == 0.0
+
+
+def test_unicast_delivery_and_power():
+    # Geometry: 0-1 in range; 2 in range of both 0 and 1; 3 far away.
+    points = [(0.0, 0.0), (30.0, 0.0), (15.0, 20.0), (500.0, 0.0)]
+    env, net, ledger = make_net(points, tran_range=50.0)
+    received = []
+    net.register_handler(1, lambda m: received.append(m.uid))
+    size = 200
+
+    def proc():
+        ok = yield from net.unicast(0, 1, Message(MessageKind.DATA, 0, 1, size))
+        assert ok
+
+    env.process(proc())
+    env.run()
+    model = net.model
+    assert len(received) == 1
+    assert ledger.host_total(0) == pytest.approx(model.ptp_send(size))
+    assert ledger.host_total(1) == pytest.approx(model.ptp_recv(size))
+    assert ledger.host_total(2) == pytest.approx(model.ptp_discard_sd(size))
+    assert ledger.host_total(3) == 0.0
+
+
+def test_unicast_discard_source_only_and_dest_only():
+    # 0 -> 1 at distance 40.  Node 2 near 0 only; node 3 near 1 only.
+    points = [(0.0, 0.0), (40.0, 0.0), (-30.0, 0.0), (70.0, 0.0)]
+    env, net, ledger = make_net(points, tran_range=45.0)
+
+    def proc():
+        yield from net.unicast(0, 1, Message(MessageKind.DATA, 0, 1, 100))
+
+    env.process(proc())
+    env.run()
+    model = net.model
+    assert ledger.host_total(2) == pytest.approx(model.ptp_discard_s(100))
+    assert ledger.host_total(3) == pytest.approx(model.ptp_discard_d(100))
+
+
+def test_unicast_out_of_range_fails_but_costs_sender():
+    env, net, ledger = make_net(LINE)
+
+    def proc():
+        ok = yield from net.unicast(0, 3, Message(MessageKind.DATA, 0, 3, 100))
+        assert not ok
+
+    env.process(proc())
+    env.run()
+    assert net.failed_unicasts == 1
+    assert ledger.host_total(0) > 0
+
+
+def test_unicast_to_self_rejected():
+    env, net, _ = make_net(LINE)
+
+    def proc():
+        yield from net.unicast(0, 0, Message(MessageKind.DATA, 0, 0, 10))
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_medium_contention_serialises_nearby_senders():
+    # Nodes 0 and 1 are in range: 1 hears 0's transmission and must defer.
+    points = [(0.0, 0.0), (30.0, 0.0), (60.0, 0.0)]
+    env, net, _ = make_net(points, bandwidth=8000.0, tran_range=50.0)
+    ends = {}
+
+    def sender(node, dst):
+        yield from net.unicast(node, dst, Message(MessageKind.DATA, node, dst, 1000))
+        ends[node] = env.now
+
+    env.process(sender(0, 1))
+    env.process(sender(1, 2))
+    env.run()
+    assert ends[0] == pytest.approx(1.0)
+    assert ends[1] == pytest.approx(2.0)  # deferred behind 0's transmission
+
+
+def test_far_senders_transmit_concurrently():
+    points = [(0.0, 0.0), (30.0, 0.0), (1000.0, 0.0), (1030.0, 0.0)]
+    env, net, _ = make_net(points, bandwidth=8000.0, tran_range=50.0)
+    ends = {}
+
+    def sender(node, dst):
+        yield from net.unicast(node, dst, Message(MessageKind.DATA, node, dst, 1000))
+        ends[node] = env.now
+
+    env.process(sender(0, 1))
+    env.process(sender(2, 3))
+    env.run()
+    assert ends[0] == pytest.approx(1.0)
+    assert ends[2] == pytest.approx(1.0)
+
+
+def test_unicast_route_multi_hop():
+    points = [(0.0, 0.0), (40.0, 0.0), (80.0, 0.0)]
+    env, net, _ = make_net(points, tran_range=50.0)
+    delivered = []
+    net.register_handler(1, lambda m: delivered.append(("relay", m.uid)))
+    net.register_handler(2, lambda m: delivered.append(("final", m.uid)))
+
+    def proc():
+        ok = yield from net.unicast_route(
+            [0, 1, 2], Message(MessageKind.DATA, 0, 2, 100)
+        )
+        assert ok
+
+    env.process(proc())
+    env.run()
+    # Only the final destination's handler fires; the relay is transparent.
+    assert [tag for tag, _ in delivered] == ["final"]
+
+
+def test_unicast_route_fails_when_hop_breaks():
+    points = [(0.0, 0.0), (40.0, 0.0), (500.0, 0.0)]
+    env, net, _ = make_net(points, tran_range=50.0)
+
+    def proc():
+        ok = yield from net.unicast_route(
+            [0, 1, 2], Message(MessageKind.DATA, 0, 2, 100)
+        )
+        assert not ok
+
+    env.process(proc())
+    env.run()
+
+
+def test_unicast_route_validates_path():
+    env, net, _ = make_net(LINE)
+    with pytest.raises(ValueError):
+        list(net.unicast_route([0], Message(MessageKind.DATA, 0, 0, 10)))
+
+
+def test_reachable_bfs():
+    points = [(0.0, 0.0), (40.0, 0.0), (80.0, 0.0), (500.0, 0.0)]
+    env, net, _ = make_net(points, tran_range=50.0)
+    assert net.reachable(0, 0, 0)
+    assert net.reachable(0, 1, 1)
+    assert not net.reachable(0, 2, 1)
+    assert net.reachable(0, 2, 2)
+    assert not net.reachable(0, 3, 5)
+    net.set_connected(1, False)
+    assert not net.reachable(0, 2, 2)  # relay offline
+
+
+def test_network_validates_parameters():
+    env = Environment()
+    field = MobilityField([StationaryTrajectory((0, 0))])
+    ledger = PowerLedger(1)
+    with pytest.raises(ValueError):
+        P2PNetwork(env, field, 0, 50.0, ledger)
+    with pytest.raises(ValueError):
+        P2PNetwork(env, field, 100.0, 0, ledger)

@@ -1,0 +1,81 @@
+"""Tests for the Table I power model and the per-host ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import PowerLedger, PowerModel, PowerParameters
+
+
+def test_table1_point_to_point_rows():
+    model = PowerModel()
+    b = 100
+    assert model.ptp_send(b) == pytest.approx(1.9 * b + 454)
+    assert model.ptp_recv(b) == pytest.approx(0.5 * b + 356)
+    # Discard rows are size-independent (v = 0) with the paper's fixed costs.
+    assert model.ptp_discard_sd(b) == pytest.approx(70.0)
+    assert model.ptp_discard_s(b) == pytest.approx(24.0)
+    assert model.ptp_discard_d(b) == pytest.approx(56.0)
+    assert model.ptp_discard_sd(10 * b) == model.ptp_discard_sd(b)
+
+
+def test_table1_broadcast_rows():
+    model = PowerModel()
+    b = 64
+    assert model.bc_send(b) == pytest.approx(1.9 * b + 266)
+    assert model.bc_recv(b) == pytest.approx(0.5 * b + 56)
+
+
+def test_custom_parameters():
+    model = PowerModel(PowerParameters(ptp_send_v=2.0, ptp_send_f=100.0))
+    assert model.ptp_send(10) == pytest.approx(120.0)
+
+
+@given(st.integers(min_value=1, max_value=10**6))
+def test_send_always_costs_more_than_recv(size):
+    model = PowerModel()
+    assert model.ptp_send(size) > model.ptp_recv(size)
+    assert model.bc_send(size) > model.bc_recv(size)
+
+
+def test_ledger_charge_and_totals():
+    ledger = PowerLedger(3)
+    ledger.charge(0, 10.0, "data")
+    ledger.charge(0, 5.0, "signature")
+    ledger.charge(2, 7.0, "beacon")
+    assert ledger.host_total(0) == pytest.approx(15.0)
+    assert ledger.host_total(1) == 0.0
+    assert ledger.total() == pytest.approx(22.0)
+    assert ledger.total("data") == pytest.approx(10.0)
+    assert ledger.by_purpose() == pytest.approx(
+        {"data": 10.0, "signature": 5.0, "beacon": 7.0}
+    )
+
+
+def test_ledger_charge_many():
+    ledger = PowerLedger(4)
+    ledger.charge_many([1, 3], 2.5)
+    assert ledger.host_total(1) == pytest.approx(2.5)
+    assert ledger.host_total(3) == pytest.approx(2.5)
+    ledger.charge_many(np.array([], dtype=int), 1.0)  # no-op
+    assert ledger.total() == pytest.approx(5.0)
+
+
+def test_ledger_rejects_negative_charges():
+    ledger = PowerLedger(2)
+    with pytest.raises(ValueError):
+        ledger.charge(0, -1.0)
+    with pytest.raises(ValueError):
+        ledger.charge_many([0], -1.0)
+
+
+def test_ledger_rejects_empty():
+    with pytest.raises(ValueError):
+        PowerLedger(0)
+
+
+def test_ledger_unknown_purpose_raises():
+    ledger = PowerLedger(1)
+    with pytest.raises(KeyError):
+        ledger.charge(0, 1.0, "nonsense")

@@ -1,0 +1,322 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(3.5)
+        log.append(env.now)
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [3.5, 5.0]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1, value="hello")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(2)
+        return 42
+
+    def outer(results):
+        value = yield env.process(inner())
+        results.append((env.now, value))
+
+    results = []
+    env.process(outer(results))
+    env.run()
+    assert results == [(2, 42)]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(7)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(7, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_surfaces_from_run():
+    env = Environment()
+
+    def crasher():
+        yield env.timeout(1)
+        raise ValueError("crash")
+
+    env.process(crasher())
+    with pytest.raises(ValueError, match="crash"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash_run():
+    env = Environment()
+    gate = env.event()
+    gate.fail(RuntimeError("ignored"))
+    gate.defuse()
+    env.run()  # must not raise
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+    log = []
+
+    def late_waiter():
+        yield env.timeout(5)
+        value = yield gate
+        log.append((env.now, value))
+
+    env.process(late_waiter())
+    env.run()
+    assert log == [(5, "early")]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 123
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+    assert proc.triggered and not proc.ok
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        slow = env.timeout(10, value="slow")
+        fast = env.timeout(3, value="fast")
+        fired = yield AnyOf(env, [slow, fast])
+        log.append((env.now, fired[fast]))
+        assert slow not in fired
+
+    env.process(proc())
+    env.run()
+    assert log == [(3, "fast")]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    log = []
+
+    def proc():
+        a = env.timeout(2, value="a")
+        b = env.timeout(9, value="b")
+        fired = yield AllOf(env, [a, b])
+        log.append((env.now, fired[a], fired[b]))
+
+    env.process(proc())
+    env.run()
+    assert log == [(9, "a", "b")]
+
+
+def test_any_of_with_pre_fired_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("pre")
+    log = []
+
+    def proc():
+        yield env.timeout(1)
+        fired = yield env.any_of([done, env.timeout(100)])
+        log.append((env.now, fired[done]))
+
+    env.process(proc())
+    env.run(until=50)
+    assert log == [(1, "pre")]
+
+
+def test_empty_any_of_fires_immediately():
+    env = Environment()
+    log = []
+
+    def proc():
+        fired = yield env.any_of([])
+        log.append(fired)
+
+    env.process(proc())
+    env.run()
+    assert log == [{}]
+
+
+def test_interrupt_wakes_process_with_cause():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(4)
+        target.interrupt("wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(4, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def maker(tag):
+        yield env.timeout(5)
+        order.append(tag)
+
+    for tag in range(6):
+        env.process(maker(tag))
+    env.run()
+    assert order == list(range(6))
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.process(iter_timeouts(env))
+    assert env.peek() == 0  # process bootstrap event
+    env.step()
+    assert env.peek() == 2.0
+    env.step()
+    assert env.now == 2.0
+
+
+def iter_timeouts(env):
+    yield env.timeout(2.0)
+    yield env.timeout(3.0)
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_nested_processes_compose():
+    env = Environment()
+
+    def leaf(n):
+        yield env.timeout(n)
+        return n * 2
+
+    def mid():
+        a = yield env.process(leaf(1))
+        b = yield env.process(leaf(2))
+        return a + b
+
+    def root(out):
+        out.append((yield env.process(mid())))
+
+    out = []
+    env.process(root(out))
+    env.run()
+    assert out == [6]
+    assert env.now == 3

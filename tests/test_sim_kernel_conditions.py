@@ -1,0 +1,126 @@
+"""Edge cases of AnyOf/AllOf condition composition and failure handling."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_any_of_fails_when_member_fails():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield env.any_of([gate, env.timeout(100)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    gate.fail(RuntimeError("member failed"))
+    env.run(until=10)
+    assert caught == ["member failed"]
+
+
+def test_all_of_fails_fast_on_first_failure():
+    env = Environment()
+    gate = env.event()
+    slow = None
+    caught = []
+
+    def waiter():
+        nonlocal slow
+        slow = env.timeout(50)
+        try:
+            yield AllOf(env, [gate, slow])
+        except ValueError:
+            caught.append(env.now)
+
+    env.process(waiter())
+    gate.fail(ValueError("nope"))
+    env.run(until=100)
+    assert caught == [0]  # did not wait for the 50s timeout
+
+
+def test_late_failure_after_condition_fired_is_defused():
+    env = Environment()
+    gate = env.event()
+    fired_at = []
+
+    def waiter():
+        yield AnyOf(env, [env.timeout(1), gate])
+        fired_at.append(env.now)
+
+    env.process(waiter())
+
+    def late_failer():
+        yield env.timeout(5)
+        gate.fail(RuntimeError("too late to matter"))
+
+    env.process(late_failer())
+    env.run()  # must not raise: the condition already fired
+    assert fired_at == [1]
+
+
+def test_nested_conditions():
+    env = Environment()
+    log = []
+
+    def waiter():
+        inner = AnyOf(env, [env.timeout(3, value="a"), env.timeout(9, value="b")])
+        outer = AllOf(env, [inner, env.timeout(5, value="c")])
+        yield outer
+        log.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert log == [5]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    log = []
+
+    def waiter():
+        result = yield AllOf(env, [])
+        log.append(result)
+
+    env.process(waiter())
+    env.run()
+    assert log == [{}]
+
+
+def test_condition_value_maps_fired_events_only():
+    env = Environment()
+    seen = {}
+
+    def waiter():
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(10, value="slow")
+        result = yield AnyOf(env, [fast, slow])
+        seen.update(result)
+
+    env.process(waiter())
+    env.run(until=20)
+    assert list(seen.values()) == ["fast"]
+
+
+def test_shared_event_across_conditions():
+    env = Environment()
+    gate = env.event()
+    order = []
+
+    def waiter(tag, condition):
+        yield condition
+        order.append((tag, env.now))
+
+    env.process(waiter("any", AnyOf(env, [gate])))
+    env.process(waiter("all", AllOf(env, [gate])))
+
+    def opener():
+        yield env.timeout(2)
+        gate.succeed("open")
+
+    env.process(opener())
+    env.run()
+    assert sorted(order) == [("all", 2), ("any", 2)]

@@ -1,0 +1,110 @@
+"""Property-based tests of the DES kernel's scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
+@settings(max_examples=60)
+def test_clock_monotone_and_events_fire_in_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        fired.append((env.now, delay))
+
+    for delay in delays:
+        env.process(waiter(delay))
+    env.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert [t for t, _ in fired] == [d for _, d in fired]
+    assert env.now == (max(delays) if delays else 0.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),  # arrival
+            st.floats(min_value=0.01, max_value=5.0),  # hold time
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40)
+def test_resource_never_exceeds_capacity_and_serves_everyone(jobs, capacity):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    served = []
+
+    def job(tag, arrival, hold):
+        yield env.timeout(arrival)
+        grant = resource.request()
+        yield grant
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield env.timeout(hold)
+        active[0] -= 1
+        resource.release(grant)
+        served.append(tag)
+
+    for tag, (arrival, hold) in enumerate(jobs):
+        env.process(job(tag, arrival, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert sorted(served) == list(range(len(jobs)))
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=99), max_size=30),
+    st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=60)
+def test_store_is_fifo_under_any_interleaving(items, getter_count):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def getter():
+        value = yield store.get()
+        received.append(value)
+
+    def putter():
+        for index, item in enumerate(items):
+            yield env.timeout(index % 3)
+            store.put(item)
+
+    for _ in range(getter_count):
+        env.process(getter())
+    env.process(putter())
+    env.run(until=1000.0)
+    delivered = min(len(items), getter_count)
+    assert received == list(items[:delivered])
+
+
+@given(st.integers(min_value=1, max_value=50))
+@settings(max_examples=20)
+def test_process_chain_depth(depth):
+    """Deeply nested process waits resolve in order without blowing up."""
+    env = Environment()
+
+    def level(n):
+        if n == 0:
+            yield env.timeout(1.0)
+            return 0
+        value = yield env.process(level(n - 1))
+        return value + 1
+
+    root = env.process(level(depth))
+    env.run()
+    assert root.value == depth
+    assert env.now == 1.0

@@ -1,0 +1,116 @@
+"""The sweep definitions behind each figure: x-axes, profiles, configs.
+
+``run_sweep`` is stubbed out, so these tests exercise the experiment
+*definitions* (which parameter, which values, which warm-up scaling)
+without running any simulation.
+"""
+
+import pytest
+
+from repro.experiments import sweeps
+
+
+@pytest.fixture()
+def recorded(monkeypatch):
+    calls = []
+
+    def fake_run_sweep(figure, parameter, values, config_for, progress=None):
+        calls.append(
+            {
+                "figure": figure,
+                "parameter": parameter,
+                "values": list(values),
+                "configs": [config_for(v) for v in values],
+            }
+        )
+        return calls[-1]
+
+    monkeypatch.setattr(sweeps, "run_sweep", fake_run_sweep)
+    return calls
+
+
+def set_profile(monkeypatch, name):
+    monkeypatch.setenv("REPRO_PROFILE", name)
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+
+
+def test_fig2_paper_axis_at_bench(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_cache_size()
+    call = recorded[-1]
+    assert call["figure"] == "Fig2"
+    assert call["values"] == [50, 100, 150, 200, 250]
+    assert [c.cache_size for c in call["configs"]] == call["values"]
+
+
+def test_fig2_scaled_axis_at_quick(recorded, monkeypatch):
+    set_profile(monkeypatch, "quick")
+    sweeps.sweep_cache_size()
+    values = recorded[-1]["values"]
+    assert max(values) < 200  # never swallows the quick access range
+
+
+def test_fig3_theta_axis(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_skewness()
+    call = recorded[-1]
+    assert call["values"] == [0.0, 0.25, 0.5, 0.75, 1.0]
+    assert [c.theta for c in call["configs"]] == call["values"]
+
+
+def test_fig4_warmup_scales_with_range(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_access_range()
+    call = recorded[-1]
+    assert call["values"][-1] == 10_000
+    warmups = [c.warmup_min_time for c in call["configs"]]
+    assert warmups == sorted(warmups)
+    assert warmups[-1] == 800.0  # capped
+    assert warmups[0] >= 300.0
+
+
+def test_fig5_group_axis_starts_at_one(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_group_size()
+    call = recorded[-1]
+    assert call["values"][0] == 1
+    assert [c.group_size for c in call["configs"]] == call["values"]
+
+
+def test_fig6_update_rates_include_zero(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_update_rate()
+    call = recorded[-1]
+    assert call["values"][0] == 0.0
+    assert [c.data_update_rate for c in call["configs"]] == call["values"]
+
+
+def test_fig7_population_axis_per_profile(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_n_clients()
+    assert recorded[-1]["values"] == [30, 60, 120, 180, 240]
+    set_profile(monkeypatch, "full")
+    sweeps.sweep_n_clients()
+    assert recorded[-1]["values"] == [50, 100, 200, 300, 400]
+
+
+def test_fig7_warmup_scales_with_population(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_n_clients()
+    configs = recorded[-1]["configs"]
+    assert configs[0].warmup_min_time == 300.0  # small N keeps the default
+    assert configs[-1].warmup_min_time == pytest.approx(2.5 * 240)
+
+
+def test_fig8_disconnection_axis(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_disconnection()
+    call = recorded[-1]
+    assert call["values"] == [0.0, 0.05, 0.1, 0.2, 0.3]
+    assert [c.p_disc for c in call["configs"]] == call["values"]
+
+
+def test_explicit_values_override_defaults(recorded, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_cache_size(values=[10, 20])
+    assert recorded[-1]["values"] == [10, 20]

@@ -1,0 +1,27 @@
+"""Edge cases of the table number formatter."""
+
+import math
+
+from repro.experiments.tables import _fmt
+
+
+def test_fmt_zero():
+    assert _fmt(0) == "        0"
+
+
+def test_fmt_inf_and_nan():
+    assert _fmt(math.inf).strip() == "inf"
+    assert _fmt(float("nan")).strip() == "n/a"
+    assert _fmt(None).strip() == "n/a"
+
+
+def test_fmt_magnitude_bands():
+    assert _fmt(12345.6).strip() == "12346"
+    assert _fmt(12.345).strip() == "12.35"
+    assert _fmt(0.01234).strip() == "0.0123"
+    assert _fmt(-5000).strip() == "-5000"
+
+
+def test_fmt_width_is_stable():
+    for value in (0, 1.5, 123456.0, 0.001, math.inf):
+        assert len(_fmt(value)) == 9

@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md placeholder filler."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+import fill_experiments  # noqa: E402
+
+
+def setup(tmp_path, results_present=True):
+    template = tmp_path / "template.md"
+    target = tmp_path / "EXPERIMENTS.md"
+    results = tmp_path / "results"
+    results.mkdir()
+    target.write_text("intro\n```\n{FIG2}\n```\noutro\n")
+    if results_present:
+        for filename in fill_experiments.PLACEHOLDERS.values():
+            (results / filename).write_text(f"data of {filename}\n")
+    return template, target, results
+
+
+def test_fill_substitutes_and_keeps_template(tmp_path):
+    template, target, results = setup(tmp_path)
+    missing = fill_experiments.fill(template, target, results)
+    assert missing == []
+    text = target.read_text()
+    assert "data of fig2_cache_size.txt" in text
+    assert "{FIG2}" not in text
+    # The template snapshot preserves the placeholders for re-fills.
+    assert "{FIG2}" in template.read_text()
+
+
+def test_fill_is_repeatable(tmp_path):
+    template, target, results = setup(tmp_path)
+    fill_experiments.fill(template, target, results)
+    (results / "fig2_cache_size.txt").write_text("NEW DATA\n")
+    fill_experiments.fill(template, target, results)
+    assert "NEW DATA" in target.read_text()
+
+
+def test_fill_reports_missing_results(tmp_path):
+    template, target, results = setup(tmp_path, results_present=False)
+    missing = fill_experiments.fill(template, target, results)
+    assert "fig2_cache_size.txt" in missing
+    assert "{FIG2}" in target.read_text()  # target untouched
+
+
+def test_fill_rejects_template_without_placeholders(tmp_path):
+    template, target, results = setup(tmp_path)
+    target.write_text("no placeholders here\n")
+    with pytest.raises(ValueError):
+        fill_experiments.fill(template, target, results)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's ``{FIGn}`` placeholders from results/*.txt.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/fill_experiments.py
+
+Keeps a template copy in ``tools/EXPERIMENTS.template.md`` the first time
+so the fill is repeatable after future benchmark runs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEMPLATE = ROOT / "tools" / "EXPERIMENTS.template.md"
+TARGET = ROOT / "EXPERIMENTS.md"
+RESULTS = ROOT / "results"
+
+PLACEHOLDERS = {
+    "FIG2": "fig2_cache_size.txt",
+    "FIG3": "fig3_skewness.txt",
+    "FIG4": "fig4_access_range.txt",
+    "FIG5": "fig5_group_size.txt",
+    "FIG6": "fig6_update_rate.txt",
+    "FIG7": "fig7_scalability.txt",
+    "FIG8": "fig8_disconnection.txt",
+}
+
+
+def fill(template: Path, target: Path, results: Path) -> list:
+    """Substitute placeholders; returns the list of missing results files."""
+    source = template if template.exists() else target
+    text = source.read_text()
+    if not re.search(r"\{FIG\d\}", text):
+        raise ValueError("no placeholders found; is the template gone?")
+    if not template.exists():
+        template.parent.mkdir(exist_ok=True)
+        template.write_text(text)
+    missing = []
+    for key, filename in PLACEHOLDERS.items():
+        path = results / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        text = text.replace("{" + key + "}", path.read_text().rstrip())
+    if not missing:
+        target.write_text(text)
+    return missing
+
+
+def main() -> int:
+    """Fill EXPERIMENTS.md in the repository root."""
+    try:
+        missing = fill(TEMPLATE, TARGET, RESULTS)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if missing:
+        print(f"missing results files: {missing}", file=sys.stderr)
+        return 1
+    print(f"wrote {TARGET}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
