@@ -6,16 +6,25 @@ pytest-benchmark timing, each writes its rendered series to
 EXPERIMENTS.md is compiled from those files.
 
 Scale is controlled by ``REPRO_PROFILE`` (quick / bench / full, default
-bench) — see :mod:`repro.experiments.runner`.
+bench) — see :mod:`repro.experiments.runner`.  ``REPRO_JOBS`` fans each
+figure sweep out over that many worker processes (0 = one per core) with
+results identical to the serial runner; the figure benches additionally
+record a per-run wall-clock / events-per-second profile to
+``results/<name>.profile.txt`` so the perf trajectory of every future PR
+is measured against these baselines (see ``tools/bench_profile.py``).
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Worker processes for the figure sweeps (1 = serial, 0 = one per core).
+SWEEP_JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +46,27 @@ def record_table(results_dir):
     return _record
 
 
+@pytest.fixture()
+def record_profile(results_dir):
+    """Write a sweep's per-run profile to results/<name>.profile.txt."""
+
+    def _record(name: str, table) -> None:
+        from repro.experiments.tables import format_profile_report
+
+        text = format_profile_report(table)
+        (results_dir / f"{name}.profile.txt").write_text(text)
+        print()
+        print(text)
+
+    return _record
+
+
 def run_once(benchmark, fn):
     """Time one full sweep exactly once (simulations are deterministic)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_sweep_once(benchmark, sweep_fn, **sweep_kwargs):
+    """Time one figure sweep with the suite-wide ``REPRO_JOBS`` fan-out."""
+    sweep_kwargs.setdefault("jobs", SWEEP_JOBS)
+    return run_once(benchmark, lambda: sweep_fn(**sweep_kwargs))

@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro run      --scheme GC --clients 20 --seed 7
     python -m repro compare  --clients 20 --cache-size 30
     python -m repro figure   fig2 --profile quick
+    python -m repro sweep    fig2 --jobs 4 --cache results/cache --profile
 
 ``run`` simulates one configuration and prints the paper's metrics;
 ``compare`` runs LC / CC / GC paired on the same seed; ``figure``
 regenerates one of the paper's figures as a text table (see DESIGN.md for
-the figure index).
+the figure index); ``sweep`` is ``figure`` plus the execution layer —
+parallel workers (``--jobs``), the persistent result cache (``--cache``)
+and per-run profiling output (``--profile``).
 """
 
 from __future__ import annotations
@@ -92,6 +95,16 @@ def _print_results(results: Results) -> None:
     print(f"  measured window       : {results.measured_time:.0f} s simulated")
 
 
+def _job_count(text: str) -> int:
+    """argparse type for --jobs: a non-negative worker count."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per core), got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser behind ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -120,7 +133,76 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["quick", "bench", "full"],
         help="scale profile (default: REPRO_PROFILE or bench)",
     )
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="run a figure sweep with parallel workers, caching, profiling",
+    )
+    sweep_parser.add_argument("figure", choices=sorted(FIGURES))
+    sweep_parser.add_argument(
+        "--scale",
+        choices=["quick", "bench", "full"],
+        help="scale profile (default: REPRO_PROFILE or bench)",
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = serial, 0 = one per core); results are "
+        "identical to the serial runner",
+    )
+    sweep_parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent result cache directory; repeated sweeps only "
+        "simulate configurations that changed",
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-run wall-clock, events processed and events/s",
+    )
+    sweep_parser.add_argument(
+        "--csv", metavar="PATH", help="also export the table as CSV"
+    )
     return parser
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    """Handler of the ``sweep`` subcommand."""
+    if args.scale:
+        os.environ["REPRO_PROFILE"] = args.scale
+    # Imported lazily so --scale is respected by the sweep defaults.
+    from repro.experiments import sweeps, tables
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.export import sweep_to_csv
+
+    try:
+        cache = ResultCache(args.cache) if args.cache else None
+    except ValueError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    sweep_name, title = FIGURES[args.figure]
+    sweep = getattr(sweeps, sweep_name)
+    table = sweep(
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(tables.format_sweep_table(table, title))
+    if args.profile:
+        print(tables.format_profile_report(table))
+    if cache is not None:
+        print(
+            f"cache {cache.directory}: {cache.hits} hits, "
+            f"{cache.misses} misses, {cache.stores} stored",
+            file=sys.stderr,
+        )
+    if args.csv:
+        sweep_to_csv(table, args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -150,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         table = sweep(progress=lambda line: print(f"  {line}", file=sys.stderr))
         print(tables.format_sweep_table(table, title))
         return 0
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.net.power import PowerLedger
+from repro.sim.profile import RunProfile
 from repro.sim.stats import WelfordAccumulator
 
 __all__ = ["Metrics", "RequestOutcome", "RequestTrace", "Results"]
@@ -73,6 +74,10 @@ class Results:
     sim_time: float
     #: per-outcome (count, mean latency) pairs, keyed by outcome name
     latency_by_outcome: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    #: wall-clock / events-processed instrumentation of the run that
+    #: produced this result.  Excluded from equality: two runs of the same
+    #: configuration are "identical" over the simulated outcome, not timing.
+    profile: Optional[RunProfile] = field(default=None, compare=False, repr=False)
 
     @property
     def lch_ratio(self) -> float:

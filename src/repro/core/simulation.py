@@ -8,6 +8,7 @@ least ``measure_requests`` further requests (capped by ``max_sim_time``).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from repro.core.client import MobileHost
@@ -25,10 +26,20 @@ from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.net.power import PowerLedger
 from repro.sim.kernel import Environment
+from repro.sim.profile import RunProfile
 from repro.sim.random import RandomStreams
 from repro.signatures.bloom import SignatureScheme
 
-__all__ = ["Simulation", "run_simulation"]
+__all__ = ["Simulation", "run_simulation", "simulations_run"]
+
+#: Simulations completed by *this process* (workers count their own runs).
+#: The cache tests assert a cached sweep leaves this untouched.
+_SIMULATIONS_RUN = 0
+
+
+def simulations_run() -> int:
+    """How many simulations this process has executed to completion."""
+    return _SIMULATIONS_RUN
 
 #: Simulated seconds between termination-condition checks.
 _CHUNK = 10.0
@@ -160,10 +171,36 @@ class Simulation:
         self.warm_up()
         return self.measure()
 
+    def profile(self, wall_time: float) -> RunProfile:
+        """Snapshot the run's timing and per-subsystem work counters."""
+        counters = {
+            "p2p_broadcasts": self.network.broadcasts,
+            "p2p_unicasts": self.network.unicasts,
+            "p2p_failed_unicasts": self.network.failed_unicasts,
+            "snapshot_rebuilds": self.field.snapshot_rebuilds,
+            "ndp_rounds": self.ndp.rounds if self.ndp is not None else 0,
+            "beacons_sent": self.ndp.beacons_sent if self.ndp is not None else 0,
+        }
+        return RunProfile(
+            wall_time=wall_time,
+            events=self.env.events_processed,
+            counters=counters,
+        )
+
 
 def run_simulation(config: SimulationConfig) -> Results:
-    """Build and run one experiment; the main public entry point."""
-    return Simulation(config).run()
+    """Build and run one experiment; the main public entry point.
+
+    The returned :class:`Results` carries a :class:`RunProfile` (wall-clock,
+    events processed, per-subsystem counters) in its ``profile`` field.
+    """
+    global _SIMULATIONS_RUN
+    start = time.perf_counter()
+    simulation = Simulation(config)
+    results = simulation.run()
+    _SIMULATIONS_RUN += 1
+    results.profile = simulation.profile(time.perf_counter() - start)
+    return results
 
 
 def compare_schemes(

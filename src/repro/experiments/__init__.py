@@ -3,10 +3,17 @@
 * :mod:`repro.experiments.runner` — sweep execution over schemes and
   parameter values, scale profiles (quick / bench / full).
 * :mod:`repro.experiments.sweeps` — one function per paper figure.
-* :mod:`repro.experiments.tables` — text rendering of the result series.
+* :mod:`repro.experiments.parallel` — fan-out of independent runs over a
+  process pool, bit-identical to the serial path.
+* :mod:`repro.experiments.cache` — persistent on-disk result cache keyed
+  by canonical configuration + code version.
+* :mod:`repro.experiments.tables` — text rendering of the result series
+  and per-run profile reports.
 """
 
+from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.export import sweep_to_csv, sweep_to_rows
+from repro.experiments.parallel import RunSpec, execute_runs, resolve_jobs
 from repro.experiments.replication import (
     MetricSummary,
     ReplicationSummary,
@@ -30,7 +37,11 @@ from repro.experiments.sweeps import (
     sweep_skewness,
     sweep_update_rate,
 )
-from repro.experiments.tables import format_results_row, format_sweep_table
+from repro.experiments.tables import (
+    format_profile_report,
+    format_results_row,
+    format_sweep_table,
+)
 
 __all__ = [
     "BENCH_PROFILE",
@@ -38,11 +49,17 @@ __all__ = [
     "MetricSummary",
     "QUICK_PROFILE",
     "ReplicationSummary",
+    "ResultCache",
+    "RunSpec",
     "SweepTable",
     "active_profile",
     "base_config",
+    "config_key",
+    "execute_runs",
+    "format_profile_report",
     "format_results_row",
     "format_sweep_table",
+    "resolve_jobs",
     "run_replications",
     "run_sweep",
     "sweep_to_csv",

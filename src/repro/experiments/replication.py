@@ -16,7 +16,8 @@ from scipy import stats as scipy_stats
 
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.metrics import Results
-from repro.core.simulation import run_simulation
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunSpec, execute_runs
 
 __all__ = ["MetricSummary", "ReplicationSummary", "run_replications"]
 
@@ -83,24 +84,32 @@ def run_replications(
     replications: int = 5,
     schemes: Sequence[CachingScheme] = (CachingScheme.GC,),
     confidence: float = 0.95,
+    jobs: int = 1,
+    cache: ResultCache = None,
 ) -> Dict[str, ReplicationSummary]:
     """Run ``replications`` independent seeds per scheme and summarise.
 
     Seeds are ``config.seed, config.seed + 1, ...`` so replication sets are
-    themselves reproducible; schemes are paired on the same seed sequence.
+    themselves reproducible; schemes are paired on the same seed sequence
+    (the pairing lives in the specs, so it is preserved under ``jobs > 1``
+    parallel execution and cache resolution alike).
     """
     if replications < 1:
         raise ValueError("need at least one replication")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
+    specs = [
+        RunSpec(
+            config=config.replace(scheme=scheme, seed=config.seed + replica),
+            label=f"replication: scheme={scheme.value} replica={replica}",
+        )
+        for scheme in schemes
+        for replica in range(replications)
+    ]
+    results = execute_runs(specs, jobs=jobs, cache=cache)
     outcome: Dict[str, ReplicationSummary] = {}
-    for scheme in schemes:
-        runs = [
-            run_simulation(
-                config.replace(scheme=scheme, seed=config.seed + replica)
-            )
-            for replica in range(replications)
-        ]
+    for position, scheme in enumerate(schemes):
+        runs = results[position * replications : (position + 1) * replications]
         metrics = {
             metric: summarise(
                 [getattr(run, metric) for run in runs], confidence

@@ -21,7 +21,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.metrics import Results
-from repro.core.simulation import run_simulation
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunSpec, execute_runs
 
 __all__ = [
     "BENCH_PROFILE",
@@ -104,12 +105,34 @@ class SweepTable:
     values: List[object]
     rows: Dict[str, List[Results]] = field(default_factory=dict)
 
+    def _scheme_rows(self, scheme: str) -> List[Results]:
+        try:
+            return self.rows[scheme]
+        except KeyError:
+            raise KeyError(
+                f"scheme {scheme!r} was not swept in {self.figure}; "
+                f"available schemes: {sorted(self.rows)}"
+            ) from None
+
     def series(self, scheme: str, metric: str) -> List[float]:
         """One plotted line, e.g. ``series("GC", "gch_ratio")``."""
-        return [getattr(result, metric) for result in self.rows[scheme]]
+        return [getattr(result, metric) for result in self._scheme_rows(scheme)]
 
     def result(self, scheme: str, value: object) -> Results:
-        return self.rows[scheme][self.values.index(value)]
+        """The results at one sweep point of one scheme.
+
+        Raises a descriptive ``KeyError`` for an unknown scheme and
+        ``ValueError`` for a value outside the swept range.
+        """
+        rows = self._scheme_rows(scheme)
+        try:
+            index = self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{self.parameter}={value!r} was not swept in {self.figure}; "
+                f"swept values: {self.values}"
+            ) from None
+        return rows[index]
 
 
 def run_sweep(
@@ -119,21 +142,37 @@ def run_sweep(
     config_for: Callable[[object], SimulationConfig],
     schemes: Sequence[CachingScheme] = ALL_SCHEMES,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepTable:
     """Run ``config_for(value)`` under every scheme for every value.
 
     The same seed is used across schemes at each sweep point, so the
     comparisons are paired exactly as in the paper's common random numbers
-    methodology.
+    methodology — the pairing is baked into the flattened run specs, so it
+    survives any parallel execution order.
+
+    ``jobs`` fans the runs out over worker processes (1 = serial in
+    process, 0/None = one worker per core) with results identical to the
+    serial path; ``cache`` resolves already-simulated configurations from
+    disk (see :mod:`repro.experiments.cache`).
     """
     table = SweepTable(figure=figure, parameter=parameter, values=list(values))
     for scheme in schemes:
         table.rows[scheme.value] = []
+    specs: List[RunSpec] = []
+    spec_schemes: List[str] = []
     for value in values:
         config = config_for(value)
         for scheme in schemes:
-            if progress is not None:
-                progress(f"{figure}: {parameter}={value} scheme={scheme.value}")
-            result = run_simulation(config.with_scheme(scheme))
-            table.rows[scheme.value].append(result)
+            specs.append(
+                RunSpec(
+                    config=config.with_scheme(scheme),
+                    label=f"{figure}: {parameter}={value} scheme={scheme.value}",
+                )
+            )
+            spec_schemes.append(scheme.value)
+    results = execute_runs(specs, jobs=jobs, cache=cache, progress=progress)
+    for scheme_name, result in zip(spec_schemes, results):
+        table.rows[scheme_name].append(result)
     return table

@@ -7,8 +7,9 @@ rows are the LC / CC / GC series of the corresponding figure's four panels
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.runner import active_profile, base_config, run_sweep
 
 __all__ = [
@@ -23,8 +24,16 @@ __all__ = [
 
 Progress = Optional[Callable[[str], None]]
 
+#: Every sweep forwards ``jobs`` (worker processes; 1 = serial, 0 = one per
+#: core) and ``cache`` (a :class:`ResultCache`) to :func:`run_sweep`.
 
-def sweep_cache_size(values: Sequence[int] = None, progress: Progress = None):
+
+def sweep_cache_size(
+    values: Sequence[int] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 2: effect of cache size (50..250 data items).
 
     The quick profile shrinks the x-axis with its access range so caches
@@ -43,10 +52,17 @@ def sweep_cache_size(values: Sequence[int] = None, progress: Progress = None):
         values,
         lambda v: base_config(cache_size=v),
         progress=progress,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def sweep_skewness(values: Sequence[float] = None, progress: Progress = None):
+def sweep_skewness(
+    values: Sequence[float] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 3: effect of the Zipf skewness parameter θ (0..1)."""
     values = list(values or (0.0, 0.25, 0.5, 0.75, 1.0))
     return run_sweep(
@@ -55,10 +71,17 @@ def sweep_skewness(values: Sequence[float] = None, progress: Progress = None):
         values,
         lambda v: base_config(theta=v),
         progress=progress,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def sweep_access_range(values: Sequence[int] = None, progress: Progress = None):
+def sweep_access_range(
+    values: Sequence[int] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 4: effect of the access range (500..10,000 data items)."""
     if values is None:
         values = (
@@ -74,10 +97,23 @@ def sweep_access_range(values: Sequence[int] = None, progress: Progress = None):
         settle = min(300.0 + value / 20.0, 800.0)
         return base_config(access_range=value, warmup_min_time=settle)
 
-    return run_sweep("Fig4", "access_range", values, config_for, progress=progress)
+    return run_sweep(
+        "Fig4",
+        "access_range",
+        values,
+        config_for,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
-def sweep_group_size(values: Sequence[int] = None, progress: Progress = None):
+def sweep_group_size(
+    values: Sequence[int] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 5: effect of the motion group size (1..20 MHs)."""
     values = list(values or (1, 5, 10, 15, 20))
     return run_sweep(
@@ -86,10 +122,17 @@ def sweep_group_size(values: Sequence[int] = None, progress: Progress = None):
         values,
         lambda v: base_config(group_size=v),
         progress=progress,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def sweep_update_rate(values: Sequence[float] = None, progress: Progress = None):
+def sweep_update_rate(
+    values: Sequence[float] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 6: effect of the data item update rate (0..10 items/s).
 
     The quick profile's database is 5x smaller, so the same per-item churn
@@ -109,10 +152,17 @@ def sweep_update_rate(values: Sequence[float] = None, progress: Progress = None)
         values,
         lambda v: base_config(data_update_rate=v),
         progress=progress,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def sweep_n_clients(values: Sequence[int] = None, progress: Progress = None):
+def sweep_n_clients(
+    values: Sequence[int] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 7: system scalability against the number of MHs.
 
     The sweep range is profile-dependent so the downlink saturation point
@@ -134,10 +184,23 @@ def sweep_n_clients(values: Sequence[int] = None, progress: Progress = None):
         settle = max(300.0, 2.5 * value)
         return base_config(n_clients=value, warmup_min_time=settle)
 
-    return run_sweep("Fig7", "n_clients", values, config_for, progress=progress)
+    return run_sweep(
+        "Fig7",
+        "n_clients",
+        values,
+        config_for,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
-def sweep_disconnection(values: Sequence[float] = None, progress: Progress = None):
+def sweep_disconnection(
+    values: Sequence[float] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+):
     """Fig. 8: effect of the client disconnection probability (0..0.3)."""
     values = list(values or (0.0, 0.05, 0.1, 0.2, 0.3))
     return run_sweep(
@@ -146,4 +209,6 @@ def sweep_disconnection(values: Sequence[float] = None, progress: Progress = Non
         values,
         lambda v: base_config(p_disc=v),
         progress=progress,
+        jobs=jobs,
+        cache=cache,
     )

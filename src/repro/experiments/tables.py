@@ -8,7 +8,7 @@ from typing import List, Tuple
 from repro.core.metrics import Results
 from repro.experiments.runner import SweepTable
 
-__all__ = ["format_results_row", "format_sweep_table"]
+__all__ = ["format_profile_report", "format_results_row", "format_sweep_table"]
 
 #: (attribute, panel title, unit, format)
 PANELS: List[Tuple[str, str, str]] = [
@@ -61,4 +61,45 @@ def format_sweep_table(table: SweepTable, title: str = "") -> str:
             cells = "".join(f" {_fmt(v)}" for v in series)
             lines.append(f"  {scheme:>12} |{cells}")
     lines.append("")
+    return "\n".join(lines)
+
+
+def format_profile_report(table: SweepTable) -> str:
+    """Per-run wall-clock / events/s report of one sweep.
+
+    Sourced from each run's :class:`~repro.sim.profile.RunProfile`; runs
+    resolved from the result cache report the timing of the run that
+    originally produced them.
+    """
+    lines = [f"=== {table.figure}: per-run profile ({table.parameter}) ==="]
+    total_wall = 0.0
+    total_events = 0
+    profiled = 0
+    for value in table.values:
+        for scheme in table.rows:
+            profile = table.result(scheme, value).profile
+            if profile is None:
+                continue
+            profiled += 1
+            total_wall += profile.wall_time
+            total_events += profile.events
+            counters = profile.counters
+            p2p = counters.get("p2p_broadcasts", 0) + counters.get(
+                "p2p_unicasts", 0
+            )
+            lines.append(
+                f"  {table.parameter}={value!s:>8} {scheme:>3}: "
+                f"{profile.wall_time:8.2f}s  {profile.events:>10} events  "
+                f"{profile.events_per_sec:>12,.0f} ev/s  p2p_tx={p2p}  "
+                f"snapshots={counters.get('snapshot_rebuilds', 0)}  "
+                f"ndp_rounds={counters.get('ndp_rounds', 0)}"
+            )
+    if profiled:
+        rate = total_events / total_wall if total_wall > 0 else 0.0
+        lines.append(
+            f"  total: {profiled} runs  {total_wall:.2f}s simulation wall-clock  "
+            f"{total_events} events  {rate:,.0f} ev/s"
+        )
+    else:
+        lines.append("  (no profiles recorded)")
     return "\n".join(lines)

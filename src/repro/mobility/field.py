@@ -37,7 +37,10 @@ class MobilityField:
         self.trajectories = list(trajectories)
         self.resolution = float(resolution)
         self._snapshot_time = -math.inf
-        self._snapshot: Optional[np.ndarray] = None
+        # One preallocated (N, 2) buffer, refilled in place per bucket.
+        self._snapshot = np.empty((len(self.trajectories), 2))
+        #: Snapshot rebuilds since creation; read by the profiler.
+        self.snapshot_rebuilds = 0
 
     def __len__(self) -> int:
         return len(self.trajectories)
@@ -48,13 +51,19 @@ class MobilityField:
         return math.floor(t / self.resolution) * self.resolution
 
     def positions(self, t: float) -> np.ndarray:
-        """(N, 2) array of positions at time ``t`` (cached per bucket)."""
+        """(N, 2) array of positions at time ``t`` (cached per bucket).
+
+        The same buffer is reused across rebuilds: callers that keep the
+        array (or a row view) beyond the current snapshot bucket must copy
+        it.  Every in-tree caller consumes positions synchronously.
+        """
         t = self._quantise(t)
-        if t != self._snapshot_time or self._snapshot is None:
-            self._snapshot = np.array(
-                [trajectory.position(t) for trajectory in self.trajectories]
-            )
+        if t != self._snapshot_time:
+            snapshot = self._snapshot
+            for index, trajectory in enumerate(self.trajectories):
+                snapshot[index] = trajectory.position(t)
             self._snapshot_time = t
+            self.snapshot_rebuilds += 1
         return self._snapshot
 
     def position_of(self, index: int, t: float) -> np.ndarray:

@@ -7,8 +7,10 @@ charged to the ledger (purpose ``"beacon"``) in bulk per cycle rather than
 serialised through the CSMA medium; the power ledger still reflects every
 send and reception.
 
-Connectivity is tracked in a dense last-heard matrix so one beacon cycle is
-a few vectorised numpy operations even for hundreds of hosts.
+Connectivity is tracked in a dense last-heard matrix; one beacon cycle
+resolves each connected sender's in-range listener set with the field's
+boolean-mask neighbor query, so no (N, N) distance matrix is ever
+materialised.
 """
 
 from __future__ import annotations
@@ -47,6 +49,8 @@ class NeighborDiscovery:
         # last_heard[i, j]: when host i last heard host j's beacon.
         self._last_heard = np.full((n, n), -np.inf)
         self.beacons_sent = 0
+        #: Beacon cycles executed; read by the profiler.
+        self.rounds = 0
         self.process = env.process(self._run())
 
     @property
@@ -63,23 +67,26 @@ class NeighborDiscovery:
         network = self.network
         now = self.env.now
         connected = network.connected
-        if not connected.any():
+        senders = np.nonzero(connected)[0]
+        if not senders.size:
             return
-        distances = network.field.pairwise_distances(now)
-        adjacency = distances <= network.tran_range
-        np.fill_diagonal(adjacency, False)
-        adjacency &= connected[None, :]  # only connected hosts transmit
-        adjacency &= connected[:, None]  # only connected hosts listen
-        # Receivers hear the column host's beacon.
-        self._last_heard[adjacency] = now
-        self.beacons_sent += int(connected.sum())
+        self.rounds += 1
+        field = network.field
+        # Per-sender in-range listener sets via the field's boolean-mask
+        # query: no (N, N) distance matrix, no N^2 sqrt per beacon cycle.
+        receptions = np.zeros(len(field), dtype=np.int64)
+        for sender in senders:
+            listeners = field.neighbors_of(
+                int(sender), now, network.tran_range, include_mask=connected
+            )
+            self._last_heard[listeners, sender] = now
+            receptions[listeners] += 1
+        self.beacons_sent += int(senders.size)
         if self.charge_power:
             model = network.model
             send_cost = model.bc_send(self.hello_size)
             recv_cost = model.bc_recv(self.hello_size)
-            senders = np.nonzero(connected)[0]
             network.ledger.charge_many(senders, send_cost, "beacon")
-            receptions = adjacency.sum(axis=1)  # beacons heard per host
             for host in np.nonzero(receptions)[0]:
                 network.ledger.charge(
                     int(host), recv_cost * int(receptions[host]), "beacon"

@@ -17,6 +17,7 @@ from repro.sim.kernel import (
     SimulationError,
     Timeout,
 )
+from repro.sim.profile import RunProfile
 from repro.sim.random import RandomStreams
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import TimeWeightedAverage, WelfordAccumulator
@@ -30,6 +31,7 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "RunProfile",
     "SimulationError",
     "Store",
     "TimeWeightedAverage",

@@ -301,6 +301,8 @@ class Environment:
         self._now = float(initial_time)
         self._heap: List[tuple] = []
         self._seq = 0
+        #: Events processed (heap pops) since creation; read by the profiler.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -339,6 +341,7 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:

@@ -147,3 +147,80 @@ def test_main_figure_executes(capsys, monkeypatch):
     assert code == 0
     assert "(a) Access Latency" in out
     assert "GC" in out
+
+
+def test_sweep_parser_accepts_execution_options():
+    args = parse(
+        [
+            "sweep",
+            "fig2",
+            "--scale",
+            "quick",
+            "--jobs",
+            "4",
+            "--cache",
+            "/tmp/some-cache",
+            "--profile",
+            "--csv",
+            "/tmp/out.csv",
+        ]
+    )
+    assert args.figure == "fig2"
+    assert args.scale == "quick"
+    assert args.jobs == 4
+    assert args.cache == "/tmp/some-cache"
+    assert args.profile is True
+    assert args.csv == "/tmp/out.csv"
+
+
+def test_sweep_parser_defaults_to_serial_uncached():
+    args = parse(["sweep", "fig5"])
+    assert args.jobs == 1
+    assert args.cache is None
+    assert args.profile is False
+
+
+def test_main_sweep_executes_with_cache_and_profile(capsys, monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    from repro.experiments import runner
+
+    monkeypatch.setitem(runner._PROFILES, "quick", dict(
+        runner.QUICK_PROFILE,
+        n_clients=6,
+        n_data=200,
+        access_range=20,
+        cache_size=5,
+        measure_requests=3,
+        warmup_min_time=0.0,
+        warmup_max_time=30.0,
+    ))
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "sweep",
+        "fig3",
+        "--scale",
+        "quick",
+        "--cache",
+        str(cache_dir),
+        "--profile",
+        "--csv",
+        str(tmp_path / "fig3.csv"),
+    ]
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "(a) Access Latency" in captured.out
+    assert "per-run profile" in captured.out
+    assert "ev/s" in captured.out
+    assert "15 misses, 15 stored" in captured.err
+    assert (tmp_path / "fig3.csv").read_text().startswith("figure,")
+
+    # A repeat resolves entirely from the cache: zero new simulations.
+    from repro.core.simulation import simulations_run
+
+    before = simulations_run()
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 0
+    assert simulations_run() == before
+    assert "15 hits, 0 misses" in captured.err

@@ -1,0 +1,246 @@
+"""Tests for the parallel execution layer, result cache and profiling.
+
+The headline guarantees under test:
+
+* ``jobs > 1`` produces results **identical field-by-field** to the serial
+  runner (every run is hermetic via ``RandomStreams(config.seed)``);
+* a repeated sweep against the same cache executes **zero simulations**
+  (checked with the process-wide run counter) and returns the same table;
+* every run carries a :class:`~repro.sim.profile.RunProfile` with
+  wall-clock, events processed and per-subsystem counters.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.metrics import Results
+from repro.core.simulation import run_simulation, simulations_run
+from repro.experiments import (
+    ResultCache,
+    RunSpec,
+    SweepTable,
+    execute_runs,
+    format_profile_report,
+    resolve_jobs,
+    run_replications,
+    run_sweep,
+)
+from repro.experiments.cache import canonical_config, config_key
+
+SCHEMES = [CachingScheme.LC, CachingScheme.GC]
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    settings = dict(
+        n_clients=4,
+        n_data=100,
+        access_range=10,
+        cache_size=5,
+        measure_requests=3,
+        warmup_min_time=0.0,
+        warmup_max_time=30.0,
+        ndp_enabled=False,
+        seed=11,
+    )
+    settings.update(overrides)
+    return SimulationConfig(**settings)
+
+
+def tiny_sweep(jobs=1, cache=None, progress=None) -> SweepTable:
+    return run_sweep(
+        "FigP",
+        "cache_size",
+        [4, 6],
+        lambda v: tiny_config(cache_size=v),
+        schemes=SCHEMES,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+    )
+
+
+def assert_results_identical(a: Results, b: Results) -> None:
+    """Field-by-field equality, excluding the timing-only profile."""
+    for field in dataclasses.fields(Results):
+        if field.name == "profile":
+            continue
+        assert getattr(a, field.name) == getattr(b, field.name), field.name
+
+
+# -- parallel == serial -------------------------------------------------------
+
+
+def test_parallel_sweep_identical_to_serial():
+    serial = tiny_sweep(jobs=1)
+    parallel = tiny_sweep(jobs=4)
+    assert serial.values == parallel.values
+    assert set(serial.rows) == set(parallel.rows)
+    for scheme in serial.rows:
+        for a, b in zip(serial.rows[scheme], parallel.rows[scheme]):
+            assert a == b  # dataclass equality (profile excluded)
+            assert_results_identical(a, b)
+
+
+def test_parallel_replications_identical_to_serial():
+    config = tiny_config()
+    serial = run_replications(config, replications=2, schemes=SCHEMES, jobs=1)
+    parallel = run_replications(config, replications=2, schemes=SCHEMES, jobs=2)
+    for scheme in ("LC", "GC"):
+        for a, b in zip(serial[scheme].runs, parallel[scheme].runs):
+            assert_results_identical(a, b)
+        assert serial[scheme].metrics == parallel[scheme].metrics
+
+
+def test_execute_runs_preserves_spec_order():
+    specs = [
+        RunSpec(config=tiny_config(seed=seed), label=f"seed={seed}")
+        for seed in (3, 1, 2)
+    ]
+    results = execute_runs(specs, jobs=2)
+    reference = [run_simulation(spec.config) for spec in specs]
+    for got, expected in zip(results, reference):
+        assert_results_identical(got, expected)
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) == resolve_jobs(None)
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+# -- result cache -------------------------------------------------------------
+
+
+def test_cached_sweep_executes_zero_simulations(tmp_path):
+    cache = ResultCache(tmp_path)
+    before = simulations_run()
+    first = tiny_sweep(jobs=1, cache=cache)
+    assert simulations_run() - before == 4  # 2 values x 2 schemes
+    assert cache.misses == 4 and cache.stores == 4 and cache.hits == 0
+    assert len(cache) == 4
+
+    rerun_cache = ResultCache(tmp_path)  # fresh instance, same directory
+    before = simulations_run()
+    labels = []
+    second = tiny_sweep(jobs=1, cache=rerun_cache, progress=labels.append)
+    assert simulations_run() == before  # zero simulations executed
+    assert rerun_cache.hits == 4 and rerun_cache.misses == 0
+    assert all(label.endswith("[cached]") for label in labels)
+    for scheme in first.rows:
+        for a, b in zip(first.rows[scheme], second.rows[scheme]):
+            assert_results_identical(a, b)
+            assert b.profile is not None  # original run's profile rides along
+
+
+def test_cache_only_simulates_changed_points(tmp_path):
+    cache = ResultCache(tmp_path)
+    tiny_sweep(jobs=1, cache=cache)
+    before = simulations_run()
+    widened = run_sweep(
+        "FigP",
+        "cache_size",
+        [4, 6, 8],  # one new sweep point
+        lambda v: tiny_config(cache_size=v),
+        schemes=SCHEMES,
+        jobs=1,
+        cache=cache,
+    )
+    assert simulations_run() - before == 2  # only cache_size=8, both schemes
+    assert len(widened.rows["GC"]) == 3
+
+
+def test_cache_key_is_stable_and_sensitive():
+    config = tiny_config()
+    assert config_key(config) == config_key(tiny_config())
+    assert config_key(config) != config_key(tiny_config(seed=12))
+    assert config_key(config) != config_key(
+        tiny_config(scheme=CachingScheme.CC)
+    )
+    assert config_key(config, "v1") != config_key(config, "v2")
+    # The canonical form is plain JSON with the enum flattened to its value.
+    assert '"scheme": "GC"' in canonical_config(config)
+
+
+def test_cache_version_mismatch_is_a_miss(tmp_path):
+    config = tiny_config()
+    old = ResultCache(tmp_path, code_version="old-code")
+    old.put(config, run_simulation(config))
+    new = ResultCache(tmp_path, code_version="new-code")
+    assert new.get(config) is None
+    assert new.misses == 1
+
+
+@pytest.mark.parametrize("garbage", [b"not a pickle", b"garbage\n", b""])
+def test_cache_corrupt_entry_is_a_miss(tmp_path, garbage):
+    config = tiny_config()
+    cache = ResultCache(tmp_path)
+    cache.path_for(config).write_bytes(garbage)
+    assert cache.get(config) is None
+    assert cache.misses == 1
+    # A clean store repairs the entry.
+    cache.put(config, run_simulation(config))
+    assert cache.get(config) is not None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(tiny_config(), run_simulation(tiny_config()))
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+# -- profiling ----------------------------------------------------------------
+
+
+def test_run_profile_attached_and_excluded_from_equality():
+    first = run_simulation(tiny_config())
+    second = run_simulation(tiny_config())
+    assert first == second  # timing differs, outcome identical
+    profile = first.profile
+    assert profile is not None
+    assert profile.wall_time > 0
+    assert profile.events > 0
+    assert profile.events_per_sec > 0
+    assert profile.counters["snapshot_rebuilds"] > 0
+    assert profile.counters["ndp_rounds"] == 0  # ndp disabled in tiny_config
+    flat = profile.as_dict()
+    assert flat["events"] == profile.events
+    assert "counter_snapshot_rebuilds" in flat
+
+
+def test_run_profile_counts_ndp_rounds():
+    result = run_simulation(tiny_config(ndp_enabled=True, warmup_max_time=10.0))
+    assert result.profile.counters["ndp_rounds"] > 0
+    assert result.profile.counters["beacons_sent"] > 0
+
+
+def test_format_profile_report_lists_every_run():
+    table = tiny_sweep(jobs=1)
+    report = format_profile_report(table)
+    assert "FigP: per-run profile" in report
+    assert report.count("cache_size=") == 4
+    assert "total: 4 runs" in report
+    assert "ev/s" in report
+
+
+# -- SweepTable guards --------------------------------------------------------
+
+
+def test_sweep_table_unknown_scheme_message():
+    table = tiny_sweep(jobs=1)
+    with pytest.raises(KeyError, match="scheme 'CC' was not swept in FigP"):
+        table.result("CC", 4)
+    with pytest.raises(KeyError, match="available schemes"):
+        table.series("CC", "gch_ratio")
+
+
+def test_sweep_table_unknown_value_message():
+    table = tiny_sweep(jobs=1)
+    with pytest.raises(ValueError, match="cache_size=99 was not swept in FigP"):
+        table.result("GC", 99)

@@ -17,16 +17,22 @@ RESOLUTION = 0.1
 
 
 def build_fields(seed, n=5):
-    rng_a = np.random.default_rng(seed)
-    exact = MobilityField(
-        [RandomWaypointTrajectory(rng_a, AREA, 1.0, V_MAX) for _ in range(n)],
-        resolution=0.0,
-    )
-    rng_b = np.random.default_rng(seed)  # identical trajectories
-    quantised = MobilityField(
-        [RandomWaypointTrajectory(rng_b, AREA, 1.0, V_MAX) for _ in range(n)],
-        resolution=RESOLUTION,
-    )
+    # Each trajectory gets its own seeded generator: segments are generated
+    # lazily up to the queried time, so a generator *shared* across the
+    # population would interleave differently in the two fields whenever a
+    # segment boundary falls inside the quantisation gap, desynchronising
+    # every later trajectory.
+    def trajectories():
+        streams = np.random.default_rng(seed).integers(0, 2**32, size=n)
+        return [
+            RandomWaypointTrajectory(
+                np.random.default_rng(stream), AREA, 1.0, V_MAX
+            )
+            for stream in streams
+        ]
+
+    exact = MobilityField(trajectories(), resolution=0.0)
+    quantised = MobilityField(trajectories(), resolution=RESOLUTION)
     return exact, quantised
 
 
@@ -41,17 +47,23 @@ def test_quantised_positions_within_speed_bound(t, seed):
 def test_quantisation_bucket_shares_snapshot():
     _, quantised = build_fields(3)
     a = quantised.positions(10.01)
+    rebuilds = quantised.snapshot_rebuilds
     b = quantised.positions(10.09)
-    assert a is b  # same 0.1 s bucket
-    c = quantised.positions(10.11)
-    assert c is not a
+    assert a is b  # same 0.1 s bucket: cached, no rebuild
+    assert quantised.snapshot_rebuilds == rebuilds
+    values_before = a.copy()
+    quantised.positions(10.11)
+    # Next bucket: the preallocated buffer is refilled in place.
+    assert quantised.snapshot_rebuilds == rebuilds + 1
+    assert (quantised.positions(10.11) != values_before).any()
 
 
 def test_zero_resolution_is_exact():
     exact, _ = build_fields(4)
-    a = exact.positions(1.23456)
-    b = exact.positions(1.23457)
-    assert a is not b
+    exact.positions(1.23456)
+    rebuilds = exact.snapshot_rebuilds
+    exact.positions(1.23457)
+    assert exact.snapshot_rebuilds == rebuilds + 1  # every instant is fresh
 
 
 def test_negative_resolution_rejected():

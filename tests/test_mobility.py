@@ -233,8 +233,11 @@ def test_field_positions_shape_and_cache():
     field = grid_field()
     a = field.positions(1.0)
     assert a.shape == (4, 2)
+    rebuilds = field.snapshot_rebuilds
     assert field.positions(1.0) is a  # cached
-    assert field.positions(2.0) is not a
+    assert field.snapshot_rebuilds == rebuilds
+    field.positions(2.0)
+    assert field.snapshot_rebuilds == rebuilds + 1  # refilled in place
 
 
 def test_field_distance():

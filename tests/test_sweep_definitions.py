@@ -14,7 +14,7 @@ from repro.experiments import sweeps
 def recorded(monkeypatch):
     calls = []
 
-    def fake_run_sweep(figure, parameter, values, config_for, progress=None):
+    def fake_run_sweep(figure, parameter, values, config_for, **kwargs):
         calls.append(
             {
                 "figure": figure,

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Run the micro-benchmarks and one profiled quick sweep; emit BENCH_<date>.json.
+
+Produces a single machine-readable snapshot of the simulator's hot-path
+performance:
+
+* the pytest-benchmark stats for the two micro suites (DES kernel event
+  throughput, signature build/match), via ``--benchmark-json``;
+* a quick-profile figure sweep executed in-process with per-run
+  :class:`~repro.sim.profile.RunProfile` data (wall-clock, events
+  processed, events/sec, subsystem counters).
+
+Usage::
+
+    python tools/bench_profile.py [--figure fig2] [--jobs N] [--skip-micro]
+
+Writes ``results/BENCH_<YYYY-MM-DD>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+MICRO_SUITES = [
+    "benchmarks/test_micro_kernel.py",
+    "benchmarks/test_micro_signatures.py",
+]
+
+
+def run_micro_benchmarks() -> list:
+    """Run the micro suites under pytest-benchmark; return per-bench stats."""
+    with tempfile.TemporaryDirectory() as scratch:
+        report = Path(scratch) / "micro.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *MICRO_SUITES,
+            "--benchmark-only",
+            f"--benchmark-json={report}",
+            "-q",
+        ]
+        completed = subprocess.run(
+            command,
+            cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            print(completed.stdout, file=sys.stderr)
+            print(completed.stderr, file=sys.stderr)
+            raise RuntimeError("micro benchmarks failed")
+        payload = json.loads(report.read_text())
+    return [
+        {
+            "name": bench["name"],
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            "ops_per_sec": bench["stats"]["ops"],
+        }
+        for bench in payload.get("benchmarks", [])
+    ]
+
+
+def run_profiled_sweep(figure: str, jobs: int) -> dict:
+    """Run one quick-scale figure sweep in-process and collect run profiles."""
+    import os
+
+    os.environ["REPRO_PROFILE"] = "quick"
+    os.environ.pop("REPRO_FULL", None)
+    from repro.cli import FIGURES
+    from repro.experiments import sweeps
+
+    sweep_name, _ = FIGURES[figure]
+    table = getattr(sweeps, sweep_name)(jobs=jobs)
+    runs = []
+    for scheme, results in sorted(table.rows.items()):
+        for value, result in zip(table.values, results):
+            profile = result.profile
+            if profile is None:
+                continue
+            entry = {
+                "scheme": scheme,
+                table.parameter: value,
+                "wall_time_s": profile.wall_time,
+                "events": profile.events,
+                "events_per_sec": profile.events_per_sec,
+            }
+            entry.update(profile.counters)
+            runs.append(entry)
+    total_wall = sum(run["wall_time_s"] for run in runs)
+    total_events = sum(run["events"] for run in runs)
+    return {
+        "figure": table.figure,
+        "parameter": table.parameter,
+        "scale": "quick",
+        "jobs": jobs,
+        "runs": runs,
+        "total_wall_time_s": total_wall,
+        "total_events": total_events,
+        "aggregate_events_per_sec": (
+            total_events / total_wall if total_wall > 0 else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    """Run both stages and write the dated JSON snapshot."""
+    from repro.cli import FIGURES
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figure",
+        default="fig2",
+        choices=sorted(FIGURES),
+        help="figure sweep to profile",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    parser.add_argument(
+        "--skip-micro", action="store_true", help="skip the pytest micro suites"
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = {
+        "date": datetime.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "micro": [] if args.skip_micro else run_micro_benchmarks(),
+        "sweep": run_profiled_sweep(args.figure, args.jobs),
+    }
+    target = ROOT / "results" / f"BENCH_{snapshot['date']}.json"
+    target.write_text(json.dumps(snapshot, indent=2) + "\n")
+    sweep = snapshot["sweep"]
+    print(
+        f"wrote {target}: {len(snapshot['micro'])} micro benches, "
+        f"{len(sweep['runs'])} profiled runs, "
+        f"{sweep['aggregate_events_per_sec']:,.0f} events/s aggregate"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
