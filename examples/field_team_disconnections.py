@@ -13,7 +13,7 @@ Run:
     python examples/field_team_disconnections.py
 """
 
-from repro import CachingScheme, SimulationConfig, run_simulation
+from repro import CachingScheme, SimulationConfig
 
 
 def main() -> None:

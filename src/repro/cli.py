@@ -36,6 +36,7 @@ FIGURES = {
     "fig6": ("sweep_update_rate", "effect of data update rate"),
     "fig7": ("sweep_n_clients", "effect of number of MHs"),
     "fig8": ("sweep_disconnection", "effect of disconnection probability"),
+    "fig-loss": ("sweep_link_loss", "effect of wireless message loss"),
 }
 
 
@@ -166,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--csv", metavar="PATH", help="also export the table as CSV"
     )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="kill a run exceeding this wall-clock budget (needs --jobs >= 2)",
+    )
+    sweep_parser.add_argument(
+        "--attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="executions per run before it is quarantined (default 2)",
+    )
+    sweep_parser.add_argument(
+        "--salvage",
+        action="store_true",
+        help="keep the partial sweep when runs fail instead of aborting",
+    )
     return parser
 
 
@@ -177,6 +196,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     from repro.experiments import sweeps, tables
     from repro.experiments.cache import ResultCache
     from repro.experiments.export import sweep_to_csv
+    from repro.experiments.parallel import RunCrashed
 
     try:
         cache = ResultCache(args.cache) if args.cache else None
@@ -185,11 +205,28 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         return 2
     sweep_name, title = FIGURES[args.figure]
     sweep = getattr(sweeps, sweep_name)
-    table = sweep(
-        progress=lambda line: print(f"  {line}", file=sys.stderr),
-        jobs=args.jobs,
-        cache=cache,
-    )
+    failures = []
+    try:
+        table = sweep(
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            attempts=args.attempts,
+            salvage=args.salvage,
+            failures_out=failures,
+        )
+    except RunCrashed as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        print("repro sweep: rerun with --salvage to keep the partial sweep",
+              file=sys.stderr)
+        return 1
+    for failure in failures:
+        print(
+            f"repro sweep: warning: {failure.label} quarantined after "
+            f"{failure.attempts} attempt(s): {failure.error}",
+            file=sys.stderr,
+        )
     print(tables.format_sweep_table(table, title))
     if args.profile:
         print(tables.format_profile_report(table))

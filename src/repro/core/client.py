@@ -15,7 +15,6 @@ One :class:`MobileHost` per client runs the whole client side of the paper:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -90,6 +89,7 @@ class MobileHost:
         self.connected = True
         self.requests_completed = 0
         self.disconnections = 0
+        self.crashes = 0
         self.last_server_contact = 0.0
         self.timeout = AdaptiveTimeout(
             initial_timeout(
@@ -159,6 +159,10 @@ class MobileHost:
     def access_item(self, item: int):
         """Resolve one query: local cache, peers, then the MSS."""
         start = self.env.now
+        if not self.connected:
+            # Crash-stop outage: the request cannot leave the host.
+            self._record_failure(start)
+            return
         entry = self.cache.get(item)
         if entry is not None:
             if entry.is_valid(self.env.now):
@@ -188,7 +192,19 @@ class MobileHost:
                 )
                 return
 
+        if not self.connected:
+            # Crashed while searching: the MSS is out of reach too.
+            self._record_failure(start)
+            return
         yield from self._fetch_from_server(item, start)
+
+    def _record_failure(self, start: float) -> None:
+        self.metrics.record_request(
+            self.index,
+            RequestOutcome.FAILURE,
+            self.env.now - start,
+            now=self.env.now,
+        )
 
     def _note_local_access(self, item: int, entry: CacheEntry) -> None:
         self.cache.touch(item, self.env.now)
@@ -238,21 +254,83 @@ class MobileHost:
         )
         self.env.process(self._broadcast(message, size - self.sizes.request))
 
+        reply = None
         tau = self.timeout.current()
-        fired = yield self.env.any_of([state.reply_event, self.env.timeout(tau)])
-        if state.reply_event not in fired:
+        attempts = 1 + self.config.search_retry_limit
+        for attempt in range(attempts):
+            fired = yield self.env.any_of([state.reply_event, self.env.timeout(tau)])
+            if state.reply_event in fired:
+                reply = state.reply_event.value
+                break
+            if attempt + 1 >= attempts:
+                break
+            # Re-flood under the same search id: peers that heard the first
+            # copy suppress the duplicate via their seen-sequence table, so
+            # a retransmission can never double-count a hit; only peers the
+            # loss process robbed get a fresh chance to answer.  The
+            # piggybacked signature update is not repeated (members that
+            # received it already applied it).
+            self.metrics.record_retry("search")
+            retry = Message(
+                kind=MessageKind.REQUEST,
+                src=self.index,
+                dst=None,
+                size=self.sizes.request,
+                payload={
+                    "search": sid,
+                    "item": item,
+                    "origin": self.index,
+                    "update": None,
+                },
+                created_at=self.env.now,
+                hops_left=self.config.hop_dist - 1,
+                path=[self.index],
+            )
+            self.env.process(self._broadcast(retry))
+            tau *= 2.0  # exponential backoff of the listen window
+        if reply is None:
             self._finish_search(sid)
+            self.metrics.record_fallback()
             return None
-        reply = state.reply_event.value
         self.timeout.observe(self.env.now - state.started)
-        data = yield from self._retrieve(sid, state, reply)
+        outcome = yield from self._retrieve_with_fallback(sid, state, reply)
         self._finish_search(sid)
-        if data is None:
+        if outcome is None:
+            self.metrics.record_fallback()
             return None
-        from_tcg = (
-            signatures is not None and reply["peer"] in signatures.members
-        )
+        data, serving_peer = outcome
+        from_tcg = signatures is not None and serving_peer in signatures.members
         return data, from_tcg
+
+    def _retrieve_with_fallback(self, sid, state: _SearchState, reply: dict):
+        """Retrieve from the chosen peer, falling over to other repliers.
+
+        Bounded by ``retrieve_retry_limit``: a failed retrieve (lost
+        message, peer moved away or crashed) backs off exponentially and
+        targets the next reply not yet tried; when no untried target is
+        left the caller falls back to the MSS.  Returns ``(data payload,
+        serving peer)`` or ``None``.
+        """
+        attempts = 1 + self.config.retrieve_retry_limit
+        backoff = self.config.retry_backoff_base
+        tried = set()
+        for attempt in range(attempts):
+            tried.add(reply["peer"])
+            data = yield from self._retrieve(sid, state, reply)
+            if data is not None:
+                return data, reply["peer"]
+            if attempt + 1 >= attempts:
+                break
+            fallback = next(
+                (r for r in state.replies if r["peer"] not in tried), None
+            )
+            if fallback is None:
+                break
+            self.metrics.record_retry("retrieve")
+            yield self.env.timeout(backoff)
+            backoff *= 2.0
+            reply = fallback
+        return None
 
     def _retrieve(self, sid, state: _SearchState, reply: dict):
         """Send retrieve to the target peer and await the data item."""
@@ -492,58 +570,92 @@ class MobileHost:
     # -------------------------------------------------------------- MSS interaction
 
     def _fetch_from_server(self, item: int, start: float):
-        """Cache-miss fallback: pull the item over the shared channels."""
-        yield from self.channel.send_uplink(self.sizes.server_request)
-        reply = self.server.handle_data_request(
-            self.index, item, self.position()
-        )
-        self.last_server_contact = self.env.now
-        yield from self.channel.send_downlink(
-            self.sizes.server_reply(reply.membership_changes)
-        )
-        entry = CacheEntry(
-            item=item,
-            expiry=reply.expiry,
-            retrieve_time=reply.retrieve_time,
-            version=reply.version,
-            singlet_ttl=(
-                self.replacement.new_entry_ttl() if self.replacement else 0
-            ),
-        )
-        self._admit(entry)
-        self._apply_membership_changes(reply.added, reply.removed)
-        self.metrics.record_request(
-            self.index, RequestOutcome.SERVER, self.env.now - start, now=self.env.now
-        )
+        """Cache-miss fallback: pull the item over the shared channels.
+
+        A lost uplink request or downlink reply (fault injection only) is
+        retried with exponential backoff up to ``uplink_retry_limit`` times;
+        the access fails outright when every attempt is lost.
+        """
+        backoff = self.config.retry_backoff_base
+        for attempt in range(1 + self.config.uplink_retry_limit):
+            if attempt:
+                self.metrics.record_retry("uplink")
+                yield self.env.timeout(backoff)
+                backoff *= 2.0
+            sent = yield from self.channel.send_uplink(self.sizes.server_request)
+            if not sent:
+                continue
+            reply = self.server.handle_data_request(
+                self.index, item, self.position()
+            )
+            self.last_server_contact = self.env.now
+            received = yield from self.channel.send_downlink(
+                self.sizes.server_reply(reply.membership_changes)
+            )
+            if not received:
+                continue
+            entry = CacheEntry(
+                item=item,
+                expiry=reply.expiry,
+                retrieve_time=reply.retrieve_time,
+                version=reply.version,
+                singlet_ttl=(
+                    self.replacement.new_entry_ttl() if self.replacement else 0
+                ),
+            )
+            self._admit(entry)
+            self._apply_membership_changes(reply.added, reply.removed)
+            self.metrics.record_request(
+                self.index,
+                RequestOutcome.SERVER,
+                self.env.now - start,
+                now=self.env.now,
+            )
+            return
+        self._record_failure(start)
 
     def _validate_with_server(self, item: int, entry: CacheEntry, start: float):
         """Section IV-F: consult the MSS about an expired copy."""
-        yield from self.channel.send_uplink(self.sizes.validate)
-        reply = self.server.handle_validation(
-            self.index, item, entry.retrieve_time, self.position()
-        )
-        self.last_server_contact = self.env.now
-        if reply.refreshed:
-            yield from self.channel.send_downlink(
-                self.sizes.server_reply(reply.membership_changes)
+        backoff = self.config.retry_backoff_base
+        for attempt in range(1 + self.config.uplink_retry_limit):
+            if attempt:
+                self.metrics.record_retry("uplink")
+                yield self.env.timeout(backoff)
+                backoff *= 2.0
+            sent = yield from self.channel.send_uplink(self.sizes.validate)
+            if not sent:
+                continue
+            reply = self.server.handle_validation(
+                self.index, item, entry.retrieve_time, self.position()
             )
-        else:
-            yield from self.channel.send_downlink(
-                self.sizes.validate_ok
-                + reply.membership_changes * self.sizes.membership_entry
+            self.last_server_contact = self.env.now
+            if reply.refreshed:
+                received = yield from self.channel.send_downlink(
+                    self.sizes.server_reply(reply.membership_changes)
+                )
+            else:
+                received = yield from self.channel.send_downlink(
+                    self.sizes.validate_ok
+                    + reply.membership_changes * self.sizes.membership_entry
+                )
+            if not received:
+                continue
+            entry.expiry = reply.expiry
+            entry.retrieve_time = reply.retrieve_time
+            entry.version = reply.version
+            self._note_local_access(item, entry)
+            self._apply_membership_changes(reply.added, reply.removed)
+            self.metrics.record_validation(refreshed=reply.refreshed)
+            outcome = (
+                RequestOutcome.SERVER
+                if reply.refreshed
+                else RequestOutcome.LOCAL_HIT
             )
-        entry.expiry = reply.expiry
-        entry.retrieve_time = reply.retrieve_time
-        entry.version = reply.version
-        self._note_local_access(item, entry)
-        self._apply_membership_changes(reply.added, reply.removed)
-        self.metrics.record_validation(refreshed=reply.refreshed)
-        outcome = (
-            RequestOutcome.SERVER if reply.refreshed else RequestOutcome.LOCAL_HIT
-        )
-        self.metrics.record_request(
-            self.index, outcome, self.env.now - start, now=self.env.now
-        )
+            self.metrics.record_request(
+                self.index, outcome, self.env.now - start, now=self.env.now
+            )
+            return
+        self._record_failure(start)
 
     def _explicit_update_loop(self):
         """Section IV-B: report location and peer-access history when idle."""
@@ -555,17 +667,21 @@ class MobileHost:
             if self.env.now - self.last_server_contact < period:
                 continue
             history = self._take_history_portion()
-            yield from self.channel.send_uplink(
+            sent = yield from self.channel.send_uplink(
                 self.sizes.explicit_update_base + len(history) * 4
             )
+            if not sent:
+                continue  # lost update; the next period reports fresh history
             added, removed = self.server.handle_explicit_update(
                 self.index, self.position(), history
             )
             self.last_server_contact = self.env.now
-            yield from self.channel.send_downlink(
+            received = yield from self.channel.send_downlink(
                 self.sizes.validate_ok
                 + (len(added) + len(removed)) * self.sizes.membership_entry
             )
+            if not received:
+                continue  # membership delta lost; resynced on next contact
             self._apply_membership_changes(added, removed)
 
     def _take_history_portion(self) -> List[int]:
@@ -645,12 +761,52 @@ class MobileHost:
 
     def _reconnect_protocol(self):
         """Section IV-D.5: membership sync + signature recollection."""
-        yield from self.channel.send_uplink(self.sizes.membership_sync)
-        members = self.server.handle_membership_sync(self.index)
-        self.last_server_contact = self.env.now
-        yield from self.channel.send_downlink(
-            self.sizes.membership_sync
-            + len(members) * self.sizes.membership_entry
-        )
-        actions = self.signatures.reconnect_sync(members)
-        self._execute_membership_actions(actions)
+        backoff = self.config.retry_backoff_base
+        for attempt in range(1 + self.config.uplink_retry_limit):
+            if attempt:
+                self.metrics.record_retry("uplink")
+                yield self.env.timeout(backoff)
+                backoff *= 2.0
+            sent = yield from self.channel.send_uplink(self.sizes.membership_sync)
+            if not sent:
+                continue
+            members = self.server.handle_membership_sync(self.index)
+            self.last_server_contact = self.env.now
+            received = yield from self.channel.send_downlink(
+                self.sizes.membership_sync
+                + len(members) * self.sizes.membership_entry
+            )
+            if not received:
+                continue
+            actions = self.signatures.reconnect_sync(members)
+            self._execute_membership_actions(actions)
+            return
+        # Sync lost on every attempt: run with possibly stale membership
+        # until the next successful server contact corrects it.
+
+    # ------------------------------------------------------------------- crashes
+
+    def crash(self) -> None:
+        """Crash-stop outage: drop off the air with no goodbye protocol.
+
+        Unlike :meth:`_disconnect_cycle` the NDP is *not* told — neighbours
+        keep believing the link is up until they miss enough beacons, and
+        GroCoCa members keep counting us until the MSS notices.
+        """
+        self.crashes += 1
+        self.connected = False
+        self.network.set_connected(self.index, False)
+
+    def recover(self):
+        """Process helper: come back up after a crash outage.
+
+        The rebooted host has no neighbour table (``forget`` wipes its NDP
+        row) and, under GroCoCa, resyncs membership and recollects member
+        signatures exactly as after a graceful disconnection.
+        """
+        self.connected = True
+        self.network.set_connected(self.index, True)
+        if self.ndp is not None:
+            self.ndp.forget(self.index)
+        if self.signatures is not None:
+            yield from self._reconnect_protocol()

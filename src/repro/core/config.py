@@ -9,9 +9,10 @@ dataclass field so experiments override parameters with
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+
+from repro.net.faults import FaultPlan
 
 __all__ = ["CachingScheme", "SimulationConfig"]
 
@@ -79,6 +80,18 @@ class SimulationConfig:
     # -- COCA protocol ---------------------------------------------------------------------
     congestion_phi: float = 2.0  # φ: initial timeout scale-up
     deviation_phi: float = 3.0  # φ': stddev multiplier for adaptive timeout
+
+    # -- fault injection and recovery --------------------------------------------------------
+    # The all-zero default plan is a strict no-op (no RNG stream advanced);
+    # see repro.net.faults.  The retry limits bound the protocol's recovery
+    # effort: 0 search/retrieve retries reproduces the paper's one-shot
+    # protocol exactly, while the uplink retry only ever engages when a
+    # fault plan actually loses server-channel messages.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    search_retry_limit: int = 0  # re-floods of an unanswered search
+    retrieve_retry_limit: int = 0  # extra retrieves over other reply targets
+    uplink_retry_limit: int = 2  # server-transaction retries on message loss
+    retry_backoff_base: float = 0.05  # s; doubles on every retry
 
     # -- GroCoCa: TCG discovery -----------------------------------------------------------
     distance_threshold: float = 100.0  # Δ
@@ -150,6 +163,28 @@ class SimulationConfig:
             raise ValueError("replace_delay must be >= 1")
         if self.measure_requests < 1:
             raise ValueError("measure_requests must be >= 1")
+        if self.think_time_mean <= 0:
+            raise ValueError("think_time_mean must be positive")
+        if self.beacon_interval <= 0:
+            raise ValueError("beacon_interval must be positive")
+        if self.congestion_phi <= 0:
+            raise ValueError("congestion_phi must be positive")
+        if self.deviation_phi < 0:
+            raise ValueError("deviation_phi must be >= 0")
+        if self.tran_range <= 0:
+            raise ValueError("tran_range must be positive")
+        if self.bw_downlink <= 0 or self.bw_uplink <= 0 or self.bw_p2p <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not isinstance(self.faults, FaultPlan):
+            raise ValueError("faults must be a FaultPlan")
+        if self.search_retry_limit < 0:
+            raise ValueError("search_retry_limit must be >= 0")
+        if self.retrieve_retry_limit < 0:
+            raise ValueError("retrieve_retry_limit must be >= 0")
+        if self.uplink_retry_limit < 0:
+            raise ValueError("uplink_retry_limit must be >= 0")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry_backoff_base must be positive")
 
     def with_scheme(self, scheme: CachingScheme) -> "SimulationConfig":
         """A copy of this config running a different scheme."""

@@ -72,6 +72,14 @@ class Results:
     peer_searches: int
     measured_time: float
     sim_time: float
+    #: recovery-effort counters (all zero in the fault-free model):
+    #: re-floods of unanswered searches, retrieves re-sent to another reply
+    #: target, server transactions re-tried after a lost channel message,
+    #: and peer searches that fell back to the MSS.
+    search_retries: int = 0
+    retrieve_retries: int = 0
+    uplink_retries: int = 0
+    mss_fallbacks: int = 0
     #: per-outcome (count, mean latency) pairs, keyed by outcome name
     latency_by_outcome: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     #: wall-clock / events-processed instrumentation of the run that
@@ -131,6 +139,8 @@ class Metrics:
         self.validation_refreshes = 0
         self.bypassed_searches = 0
         self.peer_searches = 0
+        self.retries = {"search": 0, "retrieve": 0, "uplink": 0}
+        self.mss_fallbacks = 0
         self.latency = WelfordAccumulator()
         self.latency_by_outcome: Dict[RequestOutcome, WelfordAccumulator] = {
             o: WelfordAccumulator() for o in RequestOutcome
@@ -162,7 +172,11 @@ class Metrics:
         self.outcomes[outcome] += 1
         if outcome is RequestOutcome.GLOBAL_HIT and from_tcg:
             self.global_hits_tcg += 1
-        self.latency.add(latency)
+        if outcome is not RequestOutcome.FAILURE:
+            # A failed access never completed: its elapsed time is how long
+            # the host tried, not an access latency, so it is kept in the
+            # per-outcome breakdown but excluded from the headline mean.
+            self.latency.add(latency)
         self.latency_by_outcome[outcome].add(latency)
         if self.per_client_requests is not None:
             self.per_client_requests[client] += 1
@@ -216,6 +230,20 @@ class Metrics:
         else:
             self.peer_searches += 1
 
+    def record_retry(self, kind: str) -> None:
+        """Count one protocol retry (``search`` / ``retrieve`` / ``uplink``)."""
+        if kind not in self.retries:
+            raise ValueError(f"unknown retry kind {kind!r}")
+        if not self.recording:
+            return
+        self.retries[kind] += 1
+
+    def record_fallback(self) -> None:
+        """Count one peer search that had to fall back to the MSS."""
+        if not self.recording:
+            return
+        self.mss_fallbacks += 1
+
     def min_client_requests(self) -> int:
         if not self.per_client_requests:
             return 0
@@ -260,5 +288,9 @@ class Metrics:
             peer_searches=self.peer_searches,
             measured_time=now - self._record_start_time,
             sim_time=now,
+            search_retries=self.retries["search"],
+            retrieve_retries=self.retries["retrieve"],
+            uplink_retries=self.retries["uplink"],
+            mss_fallbacks=self.mss_fallbacks,
             latency_by_outcome=per_outcome,
         )

@@ -15,7 +15,7 @@ server queue).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set, Tuple
 
 from repro.core.config import SimulationConfig
 from repro.core.tcg import TCGManager

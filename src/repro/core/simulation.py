@@ -21,6 +21,7 @@ from repro.data.workload import build_access_patterns
 from repro.mobility.field import build_group_mobility
 from repro.mobility.geometry import Rectangle
 from repro.net.channel import ServerChannel
+from repro.net.faults import FaultInjector
 from repro.net.message import MessageSizes
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
@@ -67,15 +68,24 @@ class Simulation:
             resolution=config.position_resolution,
         )
         self.ledger = PowerLedger(config.n_clients)
+        # The injector is only built when the plan can actually do anything,
+        # so an all-zero plan leaves the hot paths on their faults-is-None
+        # short-circuits and advances no RNG stream (bit-identical runs).
+        self.faults: Optional[FaultInjector] = None
+        if config.faults.enabled:
+            self.faults = FaultInjector(
+                config.faults, self.streams, config.n_clients
+            )
         self.network = P2PNetwork(
             self.env,
             self.field,
             config.bw_p2p,
             config.tran_range,
             self.ledger,
+            faults=self.faults,
         )
         self.channel = ServerChannel(
-            self.env, config.bw_downlink, config.bw_uplink
+            self.env, config.bw_downlink, config.bw_uplink, faults=self.faults
         )
         self.database = ServerDatabase(
             self.env,
@@ -136,6 +146,32 @@ class Simulation:
             )
             for index in range(config.n_clients)
         ]
+        if self.faults is not None and config.faults.crash.enabled:
+            self.env.process(self._crash_daemon())
+
+    # -- fault processes ----------------------------------------------------------
+
+    def _crash_daemon(self):
+        """Crash-stop outages: pick victims from a Poisson process.
+
+        A victim that is already offline (disconnected or still down from a
+        previous crash) is skipped — the exponential clock keeps ticking so
+        the aggregate crash rate is independent of how many hosts are up.
+        """
+        faults = self.faults
+        while True:
+            yield self.env.timeout(faults.next_crash_delay())
+            victim = self.clients[faults.crash_victim()]
+            if not victim.connected:
+                continue
+            faults.crashes += 1
+            self.env.process(self._host_outage(victim))
+
+    def _host_outage(self, victim: MobileHost):
+        """One crash-stop outage of one host, then recovery."""
+        victim.crash()
+        yield self.env.timeout(self.faults.outage_duration())
+        yield from victim.recover()
 
     # -- run protocol -------------------------------------------------------------
 
@@ -177,10 +213,16 @@ class Simulation:
             "p2p_broadcasts": self.network.broadcasts,
             "p2p_unicasts": self.network.unicasts,
             "p2p_failed_unicasts": self.network.failed_unicasts,
+            "server_uplink_requests": self.channel.uplink_requests,
+            "server_downlink_requests": self.channel.downlink_requests,
+            "server_uplink_wait": self.channel.uplink_wait,
+            "server_downlink_wait": self.channel.downlink_wait,
             "snapshot_rebuilds": self.field.snapshot_rebuilds,
             "ndp_rounds": self.ndp.rounds if self.ndp is not None else 0,
             "beacons_sent": self.ndp.beacons_sent if self.ndp is not None else 0,
         }
+        if self.faults is not None:
+            counters.update(self.faults.counters())
         return RunProfile(
             wall_time=wall_time,
             events=self.env.events_processed,

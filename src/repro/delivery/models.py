@@ -15,7 +15,7 @@ fast until the downlink saturates; hybrid sits between.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

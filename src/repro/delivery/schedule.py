@@ -16,7 +16,6 @@ to the cycle length.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 __all__ = ["BroadcastSchedule", "TuneOutcome"]
 

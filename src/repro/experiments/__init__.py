@@ -13,7 +13,13 @@
 
 from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.export import sweep_to_csv, sweep_to_rows
-from repro.experiments.parallel import RunSpec, execute_runs, resolve_jobs
+from repro.experiments.parallel import (
+    RunCrashed,
+    RunFailure,
+    RunSpec,
+    execute_runs,
+    resolve_jobs,
+)
 from repro.experiments.replication import (
     MetricSummary,
     ReplicationSummary,
@@ -33,6 +39,7 @@ from repro.experiments.sweeps import (
     sweep_cache_size,
     sweep_disconnection,
     sweep_group_size,
+    sweep_link_loss,
     sweep_n_clients,
     sweep_skewness,
     sweep_update_rate,
@@ -50,6 +57,8 @@ __all__ = [
     "QUICK_PROFILE",
     "ReplicationSummary",
     "ResultCache",
+    "RunCrashed",
+    "RunFailure",
     "RunSpec",
     "SweepTable",
     "active_profile",
@@ -68,6 +77,7 @@ __all__ = [
     "sweep_cache_size",
     "sweep_disconnection",
     "sweep_group_size",
+    "sweep_link_loss",
     "sweep_n_clients",
     "sweep_skewness",
     "sweep_update_rate",

@@ -51,7 +51,8 @@ def sweep_to_rows(table: SweepTable) -> List[Dict[str, object]]:
                 "scheme": scheme,
             }
             for column in CSV_COLUMNS[4:]:
-                row[column] = getattr(result, column)
+                # Quarantined sweep points (salvage mode) export as blanks.
+                row[column] = getattr(result, column) if result is not None else ""
             rows.append(row)
     return rows
 

@@ -17,21 +17,43 @@ schedules them.
 An optional :class:`~repro.experiments.cache.ResultCache` short-circuits
 specs whose configuration was already simulated by this or any earlier
 process; only the misses are dispatched.
+
+The harness tolerates misbehaving runs instead of losing the sweep:
+
+* every spec gets up to ``attempts`` executions; a run that raises is
+  retried and only **quarantined** (reported as a :class:`RunFailure`)
+  after its last attempt fails,
+* a crashed worker process (``BrokenProcessPool``) poisons every future
+  on the pool, so the pool is rebuilt and the innocent casualties are
+  re-dispatched *without* being charged an attempt,
+* an optional per-run ``timeout`` (pool mode only) kills the stuck
+  workers and re-dispatches the unfinished remainder the same way,
+* with ``salvage=True`` a sweep with quarantined specs still returns —
+  the failed positions hold ``None`` — instead of raising
+  :class:`RunCrashed`.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.metrics import Results
 from repro.core.simulation import run_simulation
 from repro.experiments.cache import ResultCache
 
-__all__ = ["RunSpec", "execute_runs", "resolve_jobs"]
+__all__ = [
+    "RunCrashed",
+    "RunFailure",
+    "RunSpec",
+    "execute_runs",
+    "resolve_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -40,6 +62,29 @@ class RunSpec:
 
     config: SimulationConfig
     label: str = ""
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One spec that exhausted its attempts; quarantined from the sweep."""
+
+    index: int
+    label: str
+    attempts: int
+    error: str
+
+
+class RunCrashed(RuntimeError):
+    """A spec exhausted its attempts and salvage mode is off."""
+
+    def __init__(self, failures: Sequence[RunFailure]):
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{f.label or f'spec {f.index}'} ({f.error})" for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} run(s) failed after retries: {lines}"
+        )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -51,19 +96,47 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: kill the workers, drop the queued work.
+
+    ``shutdown(cancel_futures=True)`` still waits for running tasks, which
+    is exactly wrong for a hung or crash-looping worker.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def execute_runs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
-) -> List[Results]:
+    *,
+    timeout: Optional[float] = None,
+    attempts: int = 2,
+    salvage: bool = False,
+    failures_out: Optional[List[RunFailure]] = None,
+    runner: Callable[[SimulationConfig], Results] = run_simulation,
+) -> List[Optional[Results]]:
     """Run every spec and return results in spec order.
 
     ``jobs == 1`` executes serially in-process (the reference path);
     ``jobs > 1`` fans the non-cached specs out over a process pool
     (``jobs == 0`` / None uses every core).  With a ``cache``, hits are
     resolved without simulating and misses are stored after execution.
+
+    ``timeout`` bounds one run's wall-clock seconds (pool mode only: a
+    serial run cannot be interrupted from within its own process);
+    ``attempts`` is the per-spec execution budget before quarantine;
+    ``salvage`` returns partial results (``None`` at failed positions)
+    instead of raising :class:`RunCrashed`; ``failures_out`` receives the
+    :class:`RunFailure` records either way.  ``runner`` exists for the
+    fault-tolerance tests; the simulation path never overrides it.
     """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
     jobs = resolve_jobs(jobs)
     results: List[Optional[Results]] = [None] * len(specs)
     pending: List[int] = []
@@ -75,21 +148,83 @@ def execute_runs(
                 progress(f"{spec.label} [cached]")
         else:
             pending.append(index)
+
+    tries: Dict[int, int] = {index: 0 for index in pending}
+    failures: List[RunFailure] = []
+
+    def note(index: int) -> None:
+        if progress is None:
+            return
+        label = specs[index].label
+        progress(label if tries[index] == 1 else f"{label} [retry {tries[index]}]")
+
+    def settle(index: int, error: str, queue: List[int]) -> None:
+        """A charged attempt failed: requeue or quarantine."""
+        if tries[index] < attempts:
+            queue.append(index)
+            return
+        failures.append(
+            RunFailure(
+                index=index,
+                label=specs[index].label,
+                attempts=tries[index],
+                error=error,
+            )
+        )
+        if progress is not None:
+            progress(f"{specs[index].label} [quarantined: {error}]")
+
     if jobs == 1 or len(pending) <= 1:
-        for index in pending:
-            if progress is not None:
-                progress(specs[index].label)
-            results[index] = run_simulation(specs[index].config)
+        queue = list(pending)
+        while queue:
+            index = queue.pop(0)
+            tries[index] += 1
+            note(index)
+            try:
+                results[index] = runner(specs[index].config)
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't die
+                settle(index, repr(exc), queue)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        queue = list(pending)
+        while queue:
+            batch, queue = queue, []
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(batch)))
             futures = {}
-            for index in pending:
-                if progress is not None:
-                    progress(specs[index].label)
-                futures[index] = pool.submit(run_simulation, specs[index].config)
+            for index in batch:
+                tries[index] += 1
+                note(index)
+                futures[index] = pool.submit(runner, specs[index].config)
+            pool_dead = False
             for index, future in futures.items():
-                results[index] = future.result()
+                if pool_dead:
+                    # The pool died under this future: its run may never
+                    # have started, so the attempt is refunded.
+                    tries[index] -= 1
+                    queue.append(index)
+                    continue
+                try:
+                    results[index] = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    _stop_pool(pool)
+                    pool_dead = True
+                    settle(index, f"timed out after {timeout}s", queue)
+                except BrokenProcessPool:
+                    # The worker running *some* batch member died; charge
+                    # the first observer (re-run sorts out the innocent)
+                    # and refund the rest.
+                    pool_dead = True
+                    settle(index, "worker process crashed", queue)
+                except Exception as exc:  # noqa: BLE001
+                    settle(index, repr(exc), queue)
+            if not pool_dead:
+                pool.shutdown()
+
+    if failures_out is not None:
+        failures_out.extend(failures)
+    if failures and not salvage:
+        raise RunCrashed(failures)
     if cache is not None:
         for index in pending:
-            cache.put(specs[index].config, results[index])
+            if results[index] is not None:
+                cache.put(specs[index].config, results[index])
     return results

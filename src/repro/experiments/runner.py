@@ -15,6 +15,7 @@ environment variable (``quick`` / ``bench`` / ``full``):
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -115,8 +116,14 @@ class SweepTable:
             ) from None
 
     def series(self, scheme: str, metric: str) -> List[float]:
-        """One plotted line, e.g. ``series("GC", "gch_ratio")``."""
-        return [getattr(result, metric) for result in self._scheme_rows(scheme)]
+        """One plotted line, e.g. ``series("GC", "gch_ratio")``.
+
+        A sweep point quarantined by salvage mode renders as ``nan``.
+        """
+        return [
+            getattr(result, metric) if result is not None else math.nan
+            for result in self._scheme_rows(scheme)
+        ]
 
     def result(self, scheme: str, value: object) -> Results:
         """The results at one sweep point of one scheme.
@@ -144,6 +151,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    **execute_kwargs,
 ) -> SweepTable:
     """Run ``config_for(value)`` under every scheme for every value.
 
@@ -155,7 +163,10 @@ def run_sweep(
     ``jobs`` fans the runs out over worker processes (1 = serial in
     process, 0/None = one worker per core) with results identical to the
     serial path; ``cache`` resolves already-simulated configurations from
-    disk (see :mod:`repro.experiments.cache`).
+    disk (see :mod:`repro.experiments.cache`).  Extra keyword arguments
+    (``timeout``, ``attempts``, ``salvage``, ``failures_out``) flow to
+    :func:`~repro.experiments.parallel.execute_runs`; with ``salvage`` a
+    quarantined run leaves ``None`` at its sweep position.
     """
     table = SweepTable(figure=figure, parameter=parameter, values=list(values))
     for scheme in schemes:
@@ -172,7 +183,9 @@ def run_sweep(
                 )
             )
             spec_schemes.append(scheme.value)
-    results = execute_runs(specs, jobs=jobs, cache=cache, progress=progress)
+    results = execute_runs(
+        specs, jobs=jobs, cache=cache, progress=progress, **execute_kwargs
+    )
     for scheme_name, result in zip(spec_schemes, results):
         table.rows[scheme_name].append(result)
     return table

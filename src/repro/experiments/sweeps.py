@@ -11,12 +11,14 @@ from typing import Callable, Optional, Sequence
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import active_profile, base_config, run_sweep
+from repro.net.faults import FaultPlan, LinkFaults
 
 __all__ = [
     "sweep_access_range",
     "sweep_cache_size",
     "sweep_disconnection",
     "sweep_group_size",
+    "sweep_link_loss",
     "sweep_n_clients",
     "sweep_skewness",
     "sweep_update_rate",
@@ -25,7 +27,10 @@ __all__ = [
 Progress = Optional[Callable[[str], None]]
 
 #: Every sweep forwards ``jobs`` (worker processes; 1 = serial, 0 = one per
-#: core) and ``cache`` (a :class:`ResultCache`) to :func:`run_sweep`.
+#: core), ``cache`` (a :class:`ResultCache`) and any extra keyword
+#: arguments (``timeout``, ``attempts``, ``salvage``, ``failures_out`` —
+#: the fault-tolerance knobs of
+#: :func:`~repro.experiments.parallel.execute_runs`) to :func:`run_sweep`.
 
 
 def sweep_cache_size(
@@ -33,6 +38,7 @@ def sweep_cache_size(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 2: effect of cache size (50..250 data items).
 
@@ -54,6 +60,7 @@ def sweep_cache_size(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -62,6 +69,7 @@ def sweep_skewness(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 3: effect of the Zipf skewness parameter θ (0..1)."""
     values = list(values or (0.0, 0.25, 0.5, 0.75, 1.0))
@@ -73,6 +81,7 @@ def sweep_skewness(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -81,6 +90,7 @@ def sweep_access_range(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 4: effect of the access range (500..10,000 data items)."""
     if values is None:
@@ -105,6 +115,7 @@ def sweep_access_range(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -113,6 +124,7 @@ def sweep_group_size(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 5: effect of the motion group size (1..20 MHs)."""
     values = list(values or (1, 5, 10, 15, 20))
@@ -124,6 +136,7 @@ def sweep_group_size(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -132,6 +145,7 @@ def sweep_update_rate(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 6: effect of the data item update rate (0..10 items/s).
 
@@ -154,6 +168,7 @@ def sweep_update_rate(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -162,6 +177,7 @@ def sweep_n_clients(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 7: system scalability against the number of MHs.
 
@@ -192,6 +208,57 @@ def sweep_n_clients(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
+    )
+
+
+def sweep_link_loss(
+    values: Sequence[float] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: ResultCache = None,
+    **execute_kwargs,
+):
+    """Fig. 8-style robustness sweep: wireless message loss (0..30%).
+
+    Not a figure of the paper — its channel model is ideal — but the same
+    story told against a lossy radio: cooperative caching should degrade
+    smoothly as the P2P medium loses frames, with the MSS fallback keeping
+    latency bounded.  The swept value is the i.i.d. P2P frame-loss
+    probability; a Gilbert–Elliott bursty component and a quarter-rate
+    loss on the MSS links scale along with it, and the protocol's bounded
+    recovery (one search re-flood, one retrieve failover, three server
+    retries) is enabled so losses cost retries instead of stranding runs.
+    """
+    values = list(values if values is not None else (0.0, 0.05, 0.1, 0.2, 0.3))
+
+    def config_for(value):
+        plan = FaultPlan(
+            p2p=LinkFaults(
+                loss=value,
+                burst_loss=min(1.0, 2.0 * value),
+                burst_on=0.05 if value > 0 else 0.0,
+                burst_off=0.5,
+            ),
+            uplink=LinkFaults(loss=value / 4.0),
+            downlink=LinkFaults(loss=value / 4.0),
+        )
+        return base_config(
+            faults=plan,
+            search_retry_limit=1,
+            retrieve_retry_limit=1,
+            uplink_retry_limit=3,
+        )
+
+    return run_sweep(
+        "FigLoss",
+        "link_loss",
+        values,
+        config_for,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+        **execute_kwargs,
     )
 
 
@@ -200,6 +267,7 @@ def sweep_disconnection(
     progress: Progress = None,
     jobs: Optional[int] = 1,
     cache: ResultCache = None,
+    **execute_kwargs,
 ):
     """Fig. 8: effect of the client disconnection probability (0..0.3)."""
     values = list(values or (0.0, 0.05, 0.1, 0.2, 0.3))
@@ -211,4 +279,5 @@ def sweep_disconnection(
         progress=progress,
         jobs=jobs,
         cache=cache,
+        **execute_kwargs,
     )

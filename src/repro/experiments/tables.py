@@ -77,7 +77,8 @@ def format_profile_report(table: SweepTable) -> str:
     profiled = 0
     for value in table.values:
         for scheme in table.rows:
-            profile = table.result(scheme, value).profile
+            result = table.result(scheme, value)
+            profile = result.profile if result is not None else None
             if profile is None:
                 continue
             profiled += 1

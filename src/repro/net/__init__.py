@@ -9,15 +9,22 @@
   contention, broadcast/point-to-point primitives and bounded flooding.
 * :mod:`repro.net.ndp` — the neighbor discovery protocol (periodic hello
   beacons, link-failure detection).
+* :mod:`repro.net.faults` — seeded fault injection: i.i.d. and bursty
+  message loss per link class plus crash-stop host outages.
 """
 
 from repro.net.channel import ServerChannel
+from repro.net.faults import CrashFaults, FaultInjector, FaultPlan, LinkFaults
 from repro.net.message import Message, MessageKind, MessageSizes
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.net.power import PowerLedger, PowerModel, PowerParameters
 
 __all__ = [
+    "CrashFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
     "Message",
     "MessageKind",
     "MessageSizes",

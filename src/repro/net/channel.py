@@ -5,10 +5,23 @@ links with total bandwidths ``BW_server`` (downlink / uplink).  Requests are
 buffered in an infinite FCFS queue while the link is busy — exactly the
 paper's server model — so downlink saturation produces the latency blow-up
 of Fig. 7.
+
+Per-link accounting mirrors :class:`~repro.net.p2p.P2PNetwork`'s traffic
+counters: request counts, transferred bytes, dropped messages and the total
+FCFS queue-wait time, so server-side congestion is observable per run.
+
+With a :class:`~repro.net.faults.FaultInjector` attached, each send may be
+lost after occupying the link (the transmission happened; the receiver got
+garbage).  ``send_uplink`` / ``send_downlink`` return ``True`` when the
+message survived, so the client protocol can retry a lost server request
+instead of silently assuming delivery.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.net.faults import FaultInjector
 from repro.sim.kernel import Environment
 from repro.sim.resources import Resource
 
@@ -23,16 +36,27 @@ class ServerChannel:
         env: Environment,
         downlink_bps: float,
         uplink_bps: float,
+        faults: Optional[FaultInjector] = None,
     ):
         if downlink_bps <= 0 or uplink_bps <= 0:
             raise ValueError("bandwidths must be positive")
         self.env = env
         self.downlink_bps = float(downlink_bps)
         self.uplink_bps = float(uplink_bps)
+        #: Optional seeded loss process; ``None`` keeps the ideal channel.
+        self.faults = faults
         self._downlink = Resource(env, capacity=1)
         self._uplink = Resource(env, capacity=1)
         self.bytes_down = 0
         self.bytes_up = 0
+        # Per-link traffic counters (symmetric to P2PNetwork's).
+        self.uplink_requests = 0
+        self.downlink_requests = 0
+        self.uplink_drops = 0
+        self.downlink_drops = 0
+        #: Total simulated seconds spent waiting in each link's FCFS queue.
+        self.uplink_wait = 0.0
+        self.downlink_wait = 0.0
 
     def downlink_time(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.downlink_bps
@@ -40,18 +64,49 @@ class ServerChannel:
     def uplink_time(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.uplink_bps
 
+    def _send(self, resource: Resource, hold_time: float):
+        """Queue for the link, occupy it, and return the queue-wait time."""
+        queued_at = self.env.now
+        grant = resource.request()
+        yield grant
+        waited = self.env.now - queued_at
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            resource.release(grant)
+        return waited
+
     def send_downlink(self, size_bytes: int):
         """Process helper: queue for and occupy the downlink.
 
-        Usage: ``yield from channel.send_downlink(size)``.
+        Usage: ``delivered = yield from channel.send_downlink(size)``.
+        Returns ``True`` when the message survived the channel (always, in
+        the fault-free model).
         """
+        self.downlink_requests += 1
         self.bytes_down += size_bytes
-        yield from self._downlink.acquire(self.downlink_time(size_bytes))
+        waited = yield from self._send(
+            self._downlink, self.downlink_time(size_bytes)
+        )
+        self.downlink_wait += waited
+        if self.faults is not None and self.faults.drop_downlink():
+            self.downlink_drops += 1
+            return False
+        return True
 
     def send_uplink(self, size_bytes: int):
-        """Process helper: queue for and occupy the uplink."""
+        """Process helper: queue for and occupy the uplink.
+
+        Returns ``True`` when the message survived the channel.
+        """
+        self.uplink_requests += 1
         self.bytes_up += size_bytes
-        yield from self._uplink.acquire(self.uplink_time(size_bytes))
+        waited = yield from self._send(self._uplink, self.uplink_time(size_bytes))
+        self.uplink_wait += waited
+        if self.faults is not None and self.faults.drop_uplink():
+            self.uplink_drops += 1
+            return False
+        return True
 
     @property
     def downlink_queue_length(self) -> int:
@@ -60,3 +115,17 @@ class ServerChannel:
     @property
     def uplink_queue_length(self) -> int:
         return self._uplink.queue_length
+
+    @property
+    def uplink_mean_wait(self) -> float:
+        """Mean FCFS queue wait per uplink request (seconds)."""
+        return self.uplink_wait / self.uplink_requests if self.uplink_requests else 0.0
+
+    @property
+    def downlink_mean_wait(self) -> float:
+        """Mean FCFS queue wait per downlink request (seconds)."""
+        return (
+            self.downlink_wait / self.downlink_requests
+            if self.downlink_requests
+            else 0.0
+        )

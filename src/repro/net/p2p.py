@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.mobility.field import MobilityField
+from repro.net.faults import FaultInjector
 from repro.net.message import Message
 from repro.net.power import PowerLedger, PowerModel
 from repro.sim.kernel import Environment
@@ -41,6 +42,7 @@ class P2PNetwork:
         tran_range: float,
         ledger: PowerLedger,
         model: Optional[PowerModel] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -52,6 +54,8 @@ class P2PNetwork:
         self.tran_range = float(tran_range)
         self.ledger = ledger
         self.model = model or PowerModel()
+        #: Optional seeded loss process; ``None`` keeps the ideal channel.
+        self.faults = faults
         n = len(field)
         self.connected = np.ones(n, dtype=bool)
         self._busy_until = np.zeros(n)
@@ -166,11 +170,14 @@ class P2PNetwork:
         delivered = []
         for receiver in receivers:
             receiver = int(receiver)
-            if self.connected[receiver]:
-                delivered.append(receiver)
-                handler = self._handlers[receiver]
-                if handler is not None:
-                    handler(message)
+            if not self.connected[receiver]:
+                continue
+            if self.faults is not None and self.faults.drop_p2p(receiver):
+                continue  # frame corrupted at this receiver; power already paid
+            delivered.append(receiver)
+            handler = self._handlers[receiver]
+            if handler is not None:
+                handler(message)
         return delivered
 
     # -- point-to-point ------------------------------------------------------------
@@ -232,6 +239,9 @@ class P2PNetwork:
         self.unicasts += 1
         yield self.env.timeout(air)
         if not (deliverable and self.connected[dst]):
+            self.failed_unicasts += 1
+            return False
+        if self.faults is not None and self.faults.drop_p2p(dst):
             self.failed_unicasts += 1
             return False
         if deliver:

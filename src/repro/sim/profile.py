@@ -32,8 +32,9 @@ class RunProfile:
     #: Kernel events processed (heap pops) over the whole run.
     events: int
     #: Per-subsystem work counters, e.g. ``p2p_broadcasts``,
-    #: ``snapshot_rebuilds``, ``ndp_rounds``.
-    counters: Dict[str, int] = field(default_factory=dict)
+    #: ``snapshot_rebuilds``, ``ndp_rounds``; mostly event counts, but
+    #: accumulated durations (``server_uplink_wait``) are floats.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:

@@ -1,0 +1,54 @@
+"""Misbehaving run callables for the crash-tolerance tests.
+
+These must live in an importable module (not a test body) so the process
+pool can pickle them.  One-shot behaviours coordinate through a flag file
+named by the ``REPRO_TEST_FLAG`` environment variable, which forked
+workers inherit from the test process.
+"""
+
+import os
+import time
+
+from repro.core.simulation import run_simulation
+
+
+def _flag() -> str:
+    return os.environ["REPRO_TEST_FLAG"]
+
+
+def _trip_flag() -> bool:
+    """Return True the first time only (then the flag file exists)."""
+    if os.path.exists(_flag()):
+        return False
+    open(_flag(), "w").close()
+    return True
+
+
+def crash_once_runner(config):
+    """Kill the whole worker process on the first call.  Pool mode only —
+    in-process this would take the test runner down with it."""
+    if _trip_flag():
+        os._exit(1)
+    return run_simulation(config)
+
+
+def raise_once_runner(config):
+    """Fail with an ordinary exception on the first call."""
+    if _trip_flag():
+        raise RuntimeError("transient failure")
+    return run_simulation(config)
+
+
+def always_raise_runner(config):
+    raise RuntimeError("permanent failure")
+
+
+def fail_odd_seed_runner(config):
+    if config.seed % 2:
+        raise RuntimeError(f"seed {config.seed} is cursed")
+    return run_simulation(config)
+
+
+def slow_runner(config):
+    time.sleep(60.0)
+    return run_simulation(config)

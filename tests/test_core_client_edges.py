@@ -1,12 +1,9 @@
 """Edge-case tests for client internals: history reporting, signature
 recollection batching, OutstandSigList triggers and warm-up mechanics."""
 
-import numpy as np
-import pytest
 
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.simulation import Simulation
-from repro.sim import Environment
 
 from tests.test_core_client_protocol import NEAR, World
 

@@ -42,6 +42,19 @@ def test_config_defaults_are_valid():
         {"replace_candidate": 0},
         {"replace_delay": 0},
         {"measure_requests": 0},
+        {"think_time_mean": 0.0},
+        {"beacon_interval": 0.0},
+        {"congestion_phi": 0.0},
+        {"deviation_phi": -1.0},
+        {"tran_range": 0.0},
+        {"bw_downlink": 0.0},
+        {"bw_uplink": -1.0},
+        {"bw_p2p": 0.0},
+        {"faults": None},
+        {"search_retry_limit": -1},
+        {"retrieve_retry_limit": -1},
+        {"uplink_retry_limit": -1},
+        {"retry_backoff_base": 0.0},
     ],
 )
 def test_config_validation(overrides):

@@ -1,6 +1,5 @@
 """Tests for the broadcast schedule and the delivery-model systems."""
 
-import math
 
 import numpy as np
 import pytest

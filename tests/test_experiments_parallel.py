@@ -214,6 +214,22 @@ def test_run_profile_attached_and_excluded_from_equality():
     assert "counter_snapshot_rebuilds" in flat
 
 
+def test_run_profile_counts_network_traffic():
+    result = run_simulation(tiny_config())
+    counters = result.profile.counters
+    # P2P traffic totals from the cooperative (GC) scheme ...
+    assert counters["p2p_broadcasts"] > 0
+    assert counters["p2p_unicasts"] >= 0
+    assert counters["p2p_failed_unicasts"] >= 0
+    # ... and the MSS channel's request counts and FCFS queue-wait totals.
+    assert counters["server_uplink_requests"] > 0
+    assert counters["server_downlink_requests"] > 0
+    assert counters["server_uplink_wait"] >= 0.0
+    assert counters["server_downlink_wait"] >= 0.0
+    # Fault counters only exist when an injector was built.
+    assert "fault_p2p_drops" not in counters
+
+
 def test_run_profile_counts_ndp_rounds():
     result = run_simulation(tiny_config(ndp_enabled=True, warmup_max_time=10.0))
     assert result.profile.counters["ndp_rounds"] > 0

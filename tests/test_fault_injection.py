@@ -1,0 +1,220 @@
+"""Integration tests: fault injection through the full simulation stack.
+
+The contract under test:
+
+* the all-zero plan is a strict no-op — results are *equal* to a run with
+  no plan at all (same kernel schedule, same RNG draws);
+* injected loss degrades the cooperative schemes smoothly: global hits
+  shrink, the MSS fallback keeps requests completing, retries are counted;
+* total loss fails requests instead of stranding the run;
+* crash-stop outages and recoveries flow through NDP and GroCoCa's
+  membership machinery without wedging anything;
+* identical seeds with identical fault plans stay bit-identical under
+  serial and parallel sweep execution.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.simulation import Simulation, run_simulation
+from repro.experiments.cache import config_key
+from repro.experiments.parallel import RunSpec, execute_runs
+from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
+from tests.test_experiments_parallel import assert_results_identical
+
+LOSSY = FaultPlan(
+    p2p=LinkFaults(loss=0.3, burst_loss=0.5, burst_on=0.05),
+    uplink=LinkFaults(loss=0.1),
+    downlink=LinkFaults(loss=0.1),
+)
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    settings = dict(
+        scheme=CachingScheme.CC,
+        n_clients=6,
+        n_data=150,
+        access_range=30,
+        cache_size=6,
+        measure_requests=5,
+        warmup_min_time=0.0,
+        warmup_max_time=40.0,
+        max_sim_time=2000.0,
+        ndp_enabled=False,
+        seed=17,
+    )
+    settings.update(overrides)
+    return SimulationConfig(**settings)
+
+
+# -- the no-op guarantee ------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", [CachingScheme.CC, CachingScheme.GC])
+def test_all_zero_plan_is_bit_identical(scheme):
+    plain = run_simulation(tiny_config(scheme=scheme))
+    planned = run_simulation(tiny_config(scheme=scheme, faults=FaultPlan()))
+    assert plain == planned
+    assert_results_identical(plain, planned)
+    # No injector was built, so no fault counters surface.
+    assert "fault_p2p_drops" not in planned.profile.counters
+
+
+def test_uplink_retry_budget_alone_is_bit_identical():
+    # The MSS channels never lose a message without a fault plan, so the
+    # uplink retry budget changes nothing on its own.  (Search/retrieve
+    # budgets are different: re-floods also answer *natural* timeouts.)
+    plain = run_simulation(tiny_config())
+    budgeted = run_simulation(tiny_config(uplink_retry_limit=5))
+    assert plain == budgeted
+    assert budgeted.uplink_retries == 0
+
+
+# -- graceful degradation -----------------------------------------------------
+
+
+def test_p2p_loss_degrades_global_hits_not_completion():
+    clean = run_simulation(tiny_config())
+    lossy = run_simulation(
+        tiny_config(
+            faults=FaultPlan(p2p=LinkFaults(loss=0.6)),
+            search_retry_limit=1,
+            retrieve_retry_limit=1,
+        )
+    )
+    assert lossy.requests > 0 and clean.requests > 0
+    assert lossy.gch_ratio < clean.gch_ratio
+    assert lossy.profile.counters["fault_p2p_drops"] > 0
+    # Lost searches were retried, and exhausted ones fell back to the MSS.
+    assert lossy.search_retries > 0
+    assert lossy.mss_fallbacks > 0
+    assert math.isfinite(lossy.access_latency)
+
+
+def test_uplink_loss_is_absorbed_by_retries():
+    result = run_simulation(
+        tiny_config(
+            scheme=CachingScheme.LC,
+            faults=FaultPlan(
+                uplink=LinkFaults(loss=0.3), downlink=LinkFaults(loss=0.1)
+            ),
+            uplink_retry_limit=4,
+        )
+    )
+    assert result.requests > 0
+    assert result.server_requests > 0
+    assert result.uplink_retries > 0
+    assert result.profile.counters["fault_uplink_drops"] > 0
+
+
+def test_total_p2p_loss_serves_everything_from_the_mss():
+    result = run_simulation(
+        tiny_config(
+            faults=FaultPlan(p2p=LinkFaults(loss=1.0)),
+            search_retry_limit=1,
+        )
+    )
+    assert result.requests > 0
+    assert result.global_hits == 0
+    assert result.server_requests > 0
+    assert result.mss_fallbacks > 0
+    assert math.isfinite(result.access_latency)
+
+
+def test_total_uplink_loss_fails_requests_without_stranding():
+    result = run_simulation(
+        tiny_config(
+            scheme=CachingScheme.LC,
+            faults=FaultPlan(uplink=LinkFaults(loss=1.0)),
+            uplink_retry_limit=1,
+            warmup_max_time=10.0,
+            measure_requests=3,
+            max_sim_time=500.0,
+        )
+    )
+    # Every access exhausts its retries and fails — but the request loop
+    # keeps turning and the run terminates on its own.
+    assert result.requests > 0
+    assert result.failures == result.requests
+    assert result.uplink_retries > 0
+    assert result.sim_time < 500.0
+
+
+# -- crash-stop outages -------------------------------------------------------
+
+
+def test_crash_outages_and_recovery():
+    simulation = Simulation(
+        tiny_config(
+            scheme=CachingScheme.GC,
+            ndp_enabled=True,
+            faults=FaultPlan(
+                crash=CrashFaults(rate=0.01, down_min=2.0, down_max=5.0)
+            ),
+            measure_requests=4,
+        )
+    )
+    results = simulation.run()
+    crashes = sum(client.crashes for client in simulation.clients)
+    assert crashes > 0
+    assert simulation.faults.crashes == crashes
+    assert results.requests > 0
+    # Crashed hosts never ran the graceful disconnection protocol.
+    assert all(client.disconnections == 0 for client in simulation.clients)
+
+
+def test_crash_daemon_skips_already_offline_victims():
+    simulation = Simulation(
+        tiny_config(
+            faults=FaultPlan(
+                crash=CrashFaults(rate=0.5, down_min=50.0, down_max=60.0)
+            ),
+            warmup_max_time=5.0,
+            max_sim_time=30.0,
+        )
+    )
+    simulation.run()
+    # With ~3 crashes/s and minute-long outages, every host is down long
+    # before the run ends; the daemon must keep skipping without wedging.
+    started = simulation.faults.crashes
+    assert 0 < started <= simulation.config.n_clients
+
+
+# -- reproducibility ----------------------------------------------------------
+
+
+def test_faulty_runs_identical_serial_and_parallel():
+    specs = [
+        RunSpec(config=tiny_config(faults=LOSSY, search_retry_limit=1), label="cc"),
+        RunSpec(
+            config=tiny_config(
+                scheme=CachingScheme.GC,
+                faults=FaultPlan(
+                    p2p=LinkFaults(loss=0.2),
+                    crash=CrashFaults(rate=0.005),
+                ),
+                ndp_enabled=True,
+            ),
+            label="gc-crash",
+        ),
+    ]
+    serial = execute_runs(specs, jobs=1)
+    parallel = execute_runs(specs, jobs=2)
+    for a, b in zip(serial, parallel):
+        assert_results_identical(a, b)
+
+
+def test_fault_run_is_repeatable_in_process():
+    config = tiny_config(faults=LOSSY, search_retry_limit=1)
+    assert run_simulation(config) == run_simulation(config)
+
+
+def test_fault_plan_is_part_of_the_cache_key():
+    base = tiny_config()
+    assert config_key(base) == config_key(tiny_config())
+    assert config_key(base) != config_key(tiny_config(faults=LOSSY))
+    assert config_key(tiny_config(faults=LOSSY)) == config_key(
+        tiny_config(faults=LOSSY)
+    )

@@ -5,7 +5,6 @@ still exercising every protocol path: COCA searches, GroCoCa signatures,
 TCG discovery, admission/replacement, consistency and disconnection.
 """
 
-import math
 
 import pytest
 

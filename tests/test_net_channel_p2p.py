@@ -1,6 +1,5 @@
 """Tests for the server channels and the P2P medium."""
 
-import numpy as np
 import pytest
 
 from repro.mobility import MobilityField, StationaryTrajectory
@@ -86,6 +85,57 @@ def test_server_channel_up_and_down_independent():
 def test_server_channel_rejects_bad_bandwidth():
     with pytest.raises(ValueError):
         ServerChannel(Environment(), 0, 100)
+
+
+def test_server_channel_request_counters_and_queue_wait():
+    env = Environment()
+    channel = ServerChannel(env, downlink_bps=8000.0, uplink_bps=8000.0)
+
+    def sender():
+        yield from channel.send_downlink(1000)  # 1 s each
+
+    for _ in range(3):
+        env.process(sender())
+    env.run()
+    # Three back-to-back 1 s holds: the queue waits are 0, 1 and 2 s.
+    assert channel.downlink_requests == 3
+    assert channel.uplink_requests == 0
+    assert channel.downlink_wait == pytest.approx(3.0)
+    assert channel.downlink_mean_wait == pytest.approx(1.0)
+    assert channel.uplink_mean_wait == 0.0  # no requests -> no division
+    assert channel.downlink_drops == 0 and channel.uplink_drops == 0
+
+
+def test_server_channel_injected_loss_counts_drops():
+    from repro.net.faults import FaultInjector, FaultPlan, LinkFaults
+    from repro.sim.random import RandomStreams
+
+    env = Environment()
+    injector = FaultInjector(
+        FaultPlan(uplink=LinkFaults(loss=1.0)), RandomStreams(1), n_hosts=4
+    )
+    channel = ServerChannel(
+        env, downlink_bps=8000.0, uplink_bps=8000.0, faults=injector
+    )
+    outcomes = []
+
+    def up():
+        sent = yield from channel.send_uplink(1000)
+        outcomes.append(sent)
+
+    def down():
+        received = yield from channel.send_downlink(1000)
+        outcomes.append(received)
+
+    env.process(up())
+    env.process(down())
+    env.run()
+    # The uplink message occupied the link, then was lost; the fault-free
+    # downlink delivered.
+    assert sorted(outcomes) == [False, True]
+    assert channel.uplink_drops == 1 and channel.downlink_drops == 0
+    assert channel.bytes_up == 1000  # the transmission still happened
+    assert env.now == pytest.approx(1.0)
 
 
 # -- p2p fixtures ---------------------------------------------------------------

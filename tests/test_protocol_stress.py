@@ -1,7 +1,6 @@
 """Stress and churn tests of the protocol state machines."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

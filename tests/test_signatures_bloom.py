@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.signatures import BloomFilter, CountingBloomFilter, SignatureScheme
+from repro.signatures import CountingBloomFilter, SignatureScheme
 
 
 def scheme(size=1024, k=2, seed=0):

@@ -1,6 +1,5 @@
 """Tests for VLFL compression (Algorithm 4) and the peer counter vector."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Edge cases of AnyOf/AllOf condition composition and failure handling."""
 
-import pytest
 
 from repro.sim import AllOf, AnyOf, Environment
 

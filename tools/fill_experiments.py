@@ -28,6 +28,7 @@ PLACEHOLDERS = {
     "FIG6": "fig6_update_rate.txt",
     "FIG7": "fig7_scalability.txt",
     "FIG8": "fig8_disconnection.txt",
+    "FIGLOSS": "fig_link_loss.txt",
 }
 
 
