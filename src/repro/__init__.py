@@ -17,6 +17,7 @@ Quick start::
     print(results.access_latency, results.gch_ratio)
 """
 
+from repro.check import InvariantMonitor, InvariantViolation
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.metrics import Metrics, RequestOutcome, Results
 from repro.core.simulation import Simulation, compare_schemes, run_simulation
@@ -25,6 +26,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CachingScheme",
+    "InvariantMonitor",
+    "InvariantViolation",
     "Metrics",
     "RequestOutcome",
     "Results",

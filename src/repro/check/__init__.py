@@ -1,0 +1,46 @@
+"""Correctness oracles: runtime invariants and golden-trace testing.
+
+Two complementary layers defend the simulator's semantics:
+
+* :mod:`repro.check.monitor` — a pluggable :class:`InvariantMonitor`
+  whose hook points, threaded through the kernel, the client/server
+  protocol stack, the NDP and TCG discovery, turn implicit protocol
+  assumptions into machine-checked invariants at run time;
+* :mod:`repro.check.golden` — committed golden-trace fixtures of
+  canonical runs, replayed in CI so any semantic drift fails with a
+  field-level diff (``python -m repro check golden record|verify``).
+
+Quick start::
+
+    from repro.check import InvariantMonitor, run_checked
+
+    results, report = run_checked(config)
+    assert report.ok, report.violations
+"""
+
+from repro.check.monitor import (
+    InvariantMonitor,
+    InvariantViolation,
+    MonitorReport,
+)
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MonitorReport",
+    "run_checked",
+]
+
+
+def run_checked(config, mode: str = "raise", audit_interval: float = 5.0):
+    """Run one simulation under a fresh :class:`InvariantMonitor`.
+
+    Returns ``(results, report)``.  With ``mode="raise"`` (default) the
+    first violation raises an :class:`InvariantViolation` out of the run;
+    with ``mode="collect"`` the report carries every violation found.
+    """
+    from repro.core.simulation import run_simulation
+
+    monitor = InvariantMonitor(mode=mode, audit_interval=audit_interval)
+    results = run_simulation(config, monitor=monitor)
+    return results, monitor.report()

@@ -1,18 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
-    python -m repro run      --scheme GC --clients 20 --seed 7
+    python -m repro run      --scheme GC --clients 20 --seed 7 [--check]
     python -m repro compare  --clients 20 --cache-size 30
     python -m repro figure   fig2 --profile quick
     python -m repro sweep    fig2 --jobs 4 --cache results/cache --profile
+    python -m repro check    golden record|verify [--fixtures DIR]
 
-``run`` simulates one configuration and prints the paper's metrics;
-``compare`` runs LC / CC / GC paired on the same seed; ``figure``
-regenerates one of the paper's figures as a text table (see DESIGN.md for
-the figure index); ``sweep`` is ``figure`` plus the execution layer —
-parallel workers (``--jobs``), the persistent result cache (``--cache``)
-and per-run profiling output (``--profile``).
+``run`` simulates one configuration and prints the paper's metrics
+(``--check`` attaches the runtime invariant oracle and prints its audit
+summary); ``compare`` runs LC / CC / GC paired on the same seed;
+``figure`` regenerates one of the paper's figures as a text table (see
+DESIGN.md for the figure index); ``sweep`` is ``figure`` plus the
+execution layer — parallel workers (``--jobs``), the persistent result
+cache (``--cache``) and per-run profiling output (``--profile``);
+``check golden`` records or replays the committed golden-trace fixtures.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import CachingScheme, SimulationConfig
@@ -118,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scheme", choices=[s.name for s in CachingScheme], default="GC"
     )
+    run_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="attach the runtime invariant oracle and print its audit summary",
+    )
     _add_config_arguments(run_parser)
 
     compare_parser = commands.add_parser(
@@ -185,6 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the partial sweep when runs fail instead of aborting",
     )
+
+    check_parser = commands.add_parser(
+        "check", help="golden-trace fixtures and invariant tooling"
+    )
+    check_commands = check_parser.add_subparsers(dest="check_command", required=True)
+    golden_parser = check_commands.add_parser(
+        "golden", help="record or replay the golden-trace fixtures"
+    )
+    golden_parser.add_argument(
+        "action",
+        choices=["record", "verify"],
+        help="record = overwrite the fixtures from the current code; "
+        "verify = replay them and diff field by field",
+    )
+    golden_parser.add_argument(
+        "--fixtures",
+        metavar="DIR",
+        help="fixture directory (default: tests/golden)",
+    )
     return parser
 
 
@@ -242,6 +270,35 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_check_command(args: argparse.Namespace) -> int:
+    """Handler of the ``check`` subcommand."""
+    # Imported lazily: golden pulls in the experiments layer.
+    from repro.check import golden
+
+    directory = Path(args.fixtures) if args.fixtures else golden.default_fixtures_dir()
+    if args.action == "record":
+        paths = golden.record(directory)
+        for path in paths:
+            print(f"recorded {path}")
+        return 0
+    try:
+        diffs = golden.verify(directory)
+    except FileNotFoundError as error:
+        print(f"repro check: error: {error}", file=sys.stderr)
+        return 2
+    failed = False
+    for name in sorted(diffs):
+        mismatches = diffs[name]
+        if mismatches:
+            failed = True
+            print(f"FAIL {name}: {len(mismatches)} field(s) differ")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"ok   {name}")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -249,7 +306,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = _config_from_args(args)
         print(f"Simulating {config.scheme.value} "
               f"with {config.n_clients} clients ...")
-        _print_results(run_simulation(config))
+        monitor = None
+        if args.check:
+            from repro.check import InvariantMonitor
+
+            monitor = InvariantMonitor()
+        _print_results(run_simulation(config, monitor=monitor))
+        if monitor is not None:
+            print(monitor.report().summary())
         return 0
     if args.command == "compare":
         config = _config_from_args(args)
@@ -271,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep_command(args)
+    if args.command == "check":
+        return _run_check_command(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -73,6 +73,7 @@ class MobileHost:
         sizes: MessageSizes,
         signature_scheme: Optional[SignatureScheme] = None,
         ndp: Optional[NeighborDiscovery] = None,
+        monitor=None,
     ):
         self.index = index
         self.env = env
@@ -85,6 +86,8 @@ class MobileHost:
         self.rng = rng
         self.sizes = sizes
         self.ndp = ndp
+        #: Optional invariant oracle (duck-typed; see repro.check.monitor).
+        self._monitor = monitor
         self.cache = LRUCache(config.cache_size)
         self.connected = True
         self.requests_completed = 0
@@ -242,6 +245,8 @@ class MobileHost:
             item=item, started=self.env.now, reply_event=self.env.event()
         )
         self._searches[sid] = state
+        if self._monitor is not None:
+            self._monitor.on_search_open(self.index, sid, self.env.now)
         message = Message(
             kind=MessageKind.REQUEST,
             src=self.index,
@@ -289,12 +294,12 @@ class MobileHost:
             self.env.process(self._broadcast(retry))
             tau *= 2.0  # exponential backoff of the listen window
         if reply is None:
-            self._finish_search(sid)
+            self._finish_search(sid, "timeout")
             self.metrics.record_fallback()
             return None
         self.timeout.observe(self.env.now - state.started)
         outcome = yield from self._retrieve_with_fallback(sid, state, reply)
-        self._finish_search(sid)
+        self._finish_search(sid, "reply" if outcome is not None else "fallback")
         if outcome is None:
             self.metrics.record_fallback()
             return None
@@ -357,10 +362,12 @@ class MobileHost:
             return None
         return state.data_event.value
 
-    def _finish_search(self, sid) -> None:
+    def _finish_search(self, sid, outcome: str) -> None:
         state = self._searches.pop(sid, None)
         if state is not None:
             state.finished = True
+        if self._monitor is not None:
+            self._monitor.on_search_close(self.index, sid, outcome, self.env.now)
 
     def _broadcast(self, message: Message, signature_bytes: int = 0):
         yield from self.network.broadcast(
@@ -733,6 +740,8 @@ class MobileHost:
                 self.signatures.record_evict(evicted.item, self.cache.items())
             if new_item:
                 self.signatures.record_insert(entry.item)
+        if self._monitor is not None:
+            self._monitor.check_client_cache(self.index, self.cache, self.env.now)
 
     def _insert_with_replacement(self, entry: CacheEntry) -> None:
         """Full cache: evict the cooperative-replacement victim, then insert."""

@@ -12,7 +12,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.net.faults import FaultPlan
+from typing import Dict
+
+from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
 
 __all__ = ["CachingScheme", "SimulationConfig"]
 
@@ -193,3 +195,28 @@ class SimulationConfig:
     def replace(self, **overrides) -> "SimulationConfig":
         """A copy with the given fields overridden."""
         return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dict: enums become values, the fault plan nests.
+
+        The exact inverse of :meth:`from_dict`; the result-cache keys and
+        golden-trace fixtures both serialise configs through this form.
+        """
+        payload = dataclasses.asdict(self)
+        payload["scheme"] = self.scheme.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`as_dict` output (e.g. JSON)."""
+        data = dict(payload)
+        data["scheme"] = CachingScheme(data["scheme"])
+        faults = data.get("faults")
+        if isinstance(faults, dict):
+            data["faults"] = FaultPlan(
+                p2p=LinkFaults(**faults["p2p"]),
+                uplink=LinkFaults(**faults["uplink"]),
+                downlink=LinkFaults(**faults["downlink"]),
+                crash=CrashFaults(**faults["crash"]),
+            )
+        return cls(**data)

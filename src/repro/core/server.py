@@ -66,11 +66,14 @@ class MobileSupportStation:
         config: SimulationConfig,
         database: ServerDatabase,
         tcg: Optional[TCGManager] = None,
+        monitor=None,
     ):
         self.env = env
         self.config = config
         self.database = database
         self.tcg = tcg  # None for LC/CC
+        #: Optional invariant oracle (duck-typed; see repro.check.monitor).
+        self._monitor = monitor
         self.data_requests = 0
         self.validations = 0
         self.explicit_updates = 0
@@ -106,7 +109,7 @@ class MobileSupportStation:
         self._learn(client, location, [item])
         added, removed = self._drain_changes(client)
         now = self.env.now
-        return ServerReply(
+        reply = ServerReply(
             item=item,
             version=int(self.database.version[item]),
             expiry=now + self.database.assign_ttl(item, now),
@@ -114,6 +117,11 @@ class MobileSupportStation:
             added=added,
             removed=removed,
         )
+        if self._monitor is not None:
+            self._monitor.check_server_reply(
+                client, reply.expiry, reply.retrieve_time, added, removed, now
+            )
+        return reply
 
     def handle_validation(
         self,
@@ -128,7 +136,7 @@ class MobileSupportStation:
         added, removed = self._drain_changes(client)
         now = self.env.now
         refreshed = self.database.updated_since(item, retrieve_time)
-        return ValidationReply(
+        reply = ValidationReply(
             refreshed=refreshed,
             version=int(self.database.version[item]),
             expiry=now + self.database.assign_ttl(item, now),
@@ -136,6 +144,11 @@ class MobileSupportStation:
             added=added,
             removed=removed,
         )
+        if self._monitor is not None:
+            self._monitor.check_server_reply(
+                client, reply.expiry, reply.retrieve_time, added, removed, now
+            )
+        return reply
 
     def handle_explicit_update(
         self,

@@ -47,11 +47,22 @@ _CHUNK = 10.0
 
 
 class Simulation:
-    """One fully wired simulated mobile environment."""
+    """One fully wired simulated mobile environment.
 
-    def __init__(self, config: SimulationConfig):
+    ``monitor`` optionally attaches a
+    :class:`~repro.check.monitor.InvariantMonitor`: its hook points are
+    threaded through the kernel, the clients, the MSS, the NDP and the
+    TCG manager, and a periodic audit process sweeps the global
+    invariants.  Without a monitor every hook collapses to a dormant
+    ``is None`` branch and the simulated outcome is bit-identical.
+    """
+
+    def __init__(self, config: SimulationConfig, monitor=None):
         self.config = config
-        self.env = Environment()
+        self.monitor = monitor
+        if monitor is not None:
+            monitor.bind(config)
+        self.env = Environment(monitor=monitor)
         self.streams = RandomStreams(config.seed)
         self.metrics = Metrics(config.scheme.value, trace=config.trace_requests)
 
@@ -104,6 +115,7 @@ class Simulation:
                 config.distance_threshold,
                 config.similarity_threshold,
                 config.omega,
+                monitor=monitor,
             )
             self.signature_scheme = SignatureScheme(
                 self.streams.stream("hash"),
@@ -111,7 +123,7 @@ class Simulation:
                 config.signature_hashes,
             )
         self.server = MobileSupportStation(
-            self.env, config, self.database, tcg=self.tcg
+            self.env, config, self.database, tcg=self.tcg, monitor=monitor
         )
         self.ndp: Optional[NeighborDiscovery] = None
         if config.ndp_enabled:
@@ -120,6 +132,7 @@ class Simulation:
                 self.network,
                 beacon_interval=config.beacon_interval,
                 miss_limit=config.beacon_miss_limit,
+                monitor=monitor,
             )
         sizes = MessageSizes(data=config.data_size)
         patterns = build_access_patterns(
@@ -143,11 +156,20 @@ class Simulation:
                 sizes,
                 signature_scheme=self.signature_scheme,
                 ndp=self.ndp,
+                monitor=monitor,
             )
             for index in range(config.n_clients)
         ]
         if self.faults is not None and config.faults.crash.enabled:
             self.env.process(self._crash_daemon())
+        if monitor is not None:
+            self.env.process(self._audit_loop())
+
+    def _audit_loop(self):
+        """Periodic global invariant sweep (monitored runs only)."""
+        while True:
+            yield self.env.timeout(self.monitor.audit_interval)
+            self.monitor.audit(self)
 
     # -- fault processes ----------------------------------------------------------
 
@@ -230,16 +252,21 @@ class Simulation:
         )
 
 
-def run_simulation(config: SimulationConfig) -> Results:
+def run_simulation(config: SimulationConfig, monitor=None) -> Results:
     """Build and run one experiment; the main public entry point.
 
     The returned :class:`Results` carries a :class:`RunProfile` (wall-clock,
     events processed, per-subsystem counters) in its ``profile`` field.
+    ``monitor`` optionally attaches an
+    :class:`~repro.check.monitor.InvariantMonitor`; its final audit runs
+    after the measurement window completes.
     """
     global _SIMULATIONS_RUN
     start = time.perf_counter()
-    simulation = Simulation(config)
+    simulation = Simulation(config, monitor=monitor)
     results = simulation.run()
+    if monitor is not None:
+        monitor.finalize(simulation)
     _SIMULATIONS_RUN += 1
     results.profile = simulation.profile(time.perf_counter() - start)
     return results

@@ -38,6 +38,7 @@ class TCGManager:
         distance_threshold: float,
         similarity_threshold: float,
         omega: float,
+        monitor=None,
     ):
         if n_clients < 1 or n_data < 1:
             raise ValueError("need clients and data items")
@@ -52,6 +53,8 @@ class TCGManager:
         self.distance_threshold = float(distance_threshold)
         self.similarity_threshold = float(similarity_threshold)
         self.omega = float(omega)
+        #: Optional invariant oracle (duck-typed; see repro.check.monitor).
+        self._monitor = monitor
 
         self.access_counts = np.zeros((n_clients, n_data), dtype=np.int64)
         self._dot = np.zeros((n_clients, n_clients))
@@ -141,6 +144,8 @@ class TCGManager:
             self.member[client] = eligible
             self.member[:, client] = eligible
             self.membership_changes += int(changed.sum())
+        if self._monitor is not None:
+            self._monitor.check_tcg_row(self, client)
 
     # -- client-facing views --------------------------------------------------------------
 

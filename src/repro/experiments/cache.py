@@ -22,12 +22,11 @@ or concurrent writer can never leave a torn entry behind.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pickle
-from enum import Enum
 from pathlib import Path
 from typing import Optional, Union
 
@@ -40,6 +39,10 @@ __all__ = ["CACHE_FORMAT", "ResultCache", "canonical_config", "config_key"]
 #: Bump when the on-disk entry layout (not the simulator) changes.
 CACHE_FORMAT = 1
 
+#: Distinguishes temp files of concurrent writers within one process
+#: (threads share a pid, so the pid alone is not collision-free).
+_TEMP_COUNTER = itertools.count()
+
 
 def default_code_version() -> str:
     """The code-version string mixed into every cache key."""
@@ -48,11 +51,7 @@ def default_code_version() -> str:
 
 def canonical_config(config: SimulationConfig) -> str:
     """Deterministic JSON text of a configuration (sorted keys, enum values)."""
-    payload = {
-        name: (value.value if isinstance(value, Enum) else value)
-        for name, value in dataclasses.asdict(config).items()
-    }
-    return json.dumps(payload, sort_keys=True)
+    return json.dumps(config.as_dict(), sort_keys=True)
 
 
 def config_key(config: SimulationConfig, code_version: Optional[str] = None) -> str:
@@ -133,7 +132,9 @@ class ResultCache:
             "code_version": self.code_version,
             "results": results,
         }
-        temporary = path.with_name(path.name + f".tmp{os.getpid()}")
+        temporary = path.with_name(
+            path.name + f".tmp{os.getpid()}-{next(_TEMP_COUNTER)}"
+        )
         with temporary.open("wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temporary, path)

@@ -34,6 +34,7 @@ class NeighborDiscovery:
         beacon_interval: float = 1.0,
         miss_limit: int = 3,
         charge_power: bool = True,
+        monitor=None,
     ):
         if beacon_interval <= 0:
             raise ValueError("beacon_interval must be positive")
@@ -45,6 +46,8 @@ class NeighborDiscovery:
         self.beacon_interval = float(beacon_interval)
         self.miss_limit = int(miss_limit)
         self.charge_power = charge_power
+        #: Optional invariant oracle (duck-typed; see repro.check.monitor).
+        self._monitor = monitor
         n = len(network.field)
         # last_heard[i, j]: when host i last heard host j's beacon.
         self._last_heard = np.full((n, n), -np.inf)
@@ -62,6 +65,8 @@ class NeighborDiscovery:
         while True:
             yield self.env.timeout(self.beacon_interval)
             self._beacon_cycle()
+            if self._monitor is not None:
+                self._monitor.check_ndp(self, self.env.now)
 
     def _beacon_cycle(self) -> None:
         network = self.network

@@ -115,3 +115,14 @@ class PowerLedger:
         return {
             purpose: float(array.sum()) for purpose, array in self._by_purpose.items()
         }
+
+    def per_host_totals(self) -> np.ndarray:
+        """Every host's total consumption across all purposes (µW·s).
+
+        Used by the invariant monitor's power audit (non-negativity and
+        conservation over the whole population in one vector read).
+        """
+        total = np.zeros(self.n_hosts)
+        for array in self._by_purpose.values():
+            total += array
+        return total

@@ -258,6 +258,8 @@ class _Condition(Event):
             self.fail(event._exception)
             return
         self._fired_count += 1
+        if self.env.monitor is not None:
+            self.env.monitor.on_condition_fire(self)
         if self._check():
             self.succeed(self._collect())
 
@@ -295,14 +297,23 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """The simulation clock and scheduler."""
+    """The simulation clock and scheduler.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``monitor`` optionally attaches a
+    :class:`~repro.check.monitor.InvariantMonitor`: every heap push and
+    pop is then reported through ``on_schedule`` / ``on_step`` (event-time
+    monotonicity, heap bookkeeping).  Without a monitor the hot path pays
+    a single attribute test per event and behaves bit-identically.
+    """
+
+    def __init__(self, initial_time: float = 0.0, monitor=None):
         self._now = float(initial_time)
         self._heap: List[tuple] = []
         self._seq = 0
         #: Events processed (heap pops) since creation; read by the profiler.
         self.events_processed = 0
+        #: Optional invariant oracle (duck-typed; see repro.check.monitor).
+        self.monitor = monitor
 
     @property
     def now(self) -> float:
@@ -329,7 +340,10 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        when = self._now + delay
+        heapq.heappush(self._heap, (when, self._seq, event))
+        if self.monitor is not None:
+            self.monitor.on_schedule(self, when)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
@@ -340,6 +354,8 @@ class Environment:
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         when, _seq, event = heapq.heappop(self._heap)
+        if self.monitor is not None:
+            self.monitor.on_step(self, when)
         self._now = when
         self.events_processed += 1
         event._process()

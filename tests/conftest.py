@@ -1,0 +1,21 @@
+"""Shared pytest configuration: Hypothesis profiles.
+
+The ``ci`` profile (selected with ``HYPOTHESIS_PROFILE=ci``) runs more
+examples with a derandomised, reproducible schedule so CI failures replay
+locally; the default ``dev`` profile keeps the suite fast.  Tests that
+drive full simulations pin their own ``max_examples`` via ``@settings``
+and are unaffected by the profile's example budget.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=50)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

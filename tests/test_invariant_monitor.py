@@ -1,0 +1,248 @@
+"""The runtime invariant oracle: clean runs, injected bugs, hook units."""
+
+import math
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.check import InvariantMonitor, InvariantViolation, run_checked
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.simulation import run_simulation
+from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
+
+SMALL = dict(
+    n_clients=8,
+    n_data=200,
+    access_range=40,
+    cache_size=8,
+    group_size=4,
+    measure_requests=8,
+    warmup_min_time=30.0,
+    warmup_max_time=60.0,
+    ndp_enabled=False,
+    seed=7,
+)
+
+
+# -- clean runs find nothing ---------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", list(CachingScheme))
+def test_clean_run_has_zero_violations(scheme):
+    config = SimulationConfig(scheme=scheme, **SMALL)
+    results, report = run_checked(config)
+    assert report.ok
+    assert report.checks_run > 0
+    assert results.requests > 0
+    # The run may end with a search still in flight; conservation over the
+    # closed ones (finalize checks the in-flight remainder) must hold.
+    assert report.searches_closed <= report.searches_opened
+    assert sum(report.search_outcomes.values()) == report.searches_closed
+
+
+def test_clean_run_with_ndp_faults_and_disconnections():
+    """The heaviest protocol mix still satisfies every invariant."""
+    config = SimulationConfig(
+        scheme=CachingScheme.GC,
+        faults=FaultPlan(
+            p2p=LinkFaults(loss=0.1, burst_loss=0.3, burst_on=0.05, burst_off=0.5),
+            uplink=LinkFaults(loss=0.05),
+            downlink=LinkFaults(loss=0.05),
+            crash=CrashFaults(rate=0.001, down_min=2.0, down_max=6.0),
+        ),
+        search_retry_limit=1,
+        retrieve_retry_limit=1,
+        p_disc=0.05,
+        **{**SMALL, "ndp_enabled": True},
+    )
+    _, report = run_checked(config, mode="collect")
+    assert report.violations == []
+    assert report.checks_run > 0
+
+
+def test_monitor_off_results_identical():
+    """A monitored run changes nothing observable but the profile."""
+    from repro.check.golden import results_to_dict
+
+    config = SimulationConfig(scheme=CachingScheme.CC, **SMALL)
+    plain = results_to_dict(run_simulation(config))
+    checked_results, report = run_checked(config)
+    checked = results_to_dict(checked_results)
+    # The audit process adds kernel events, so only the profile may move.
+    plain.pop("profile")
+    checked.pop("profile")
+    assert report.ok
+    assert checked == plain
+
+
+# -- the oracle catches an injected bug ----------------------------------------
+
+
+def _leaky_insert(self, entry, now):
+    """LRUCache.insert with the eviction path removed (the planted bug)."""
+    entry.last_access = now
+    self._entries[entry.item] = entry
+    self._entries.move_to_end(entry.item)
+    self.insertions += 1
+    return None
+
+
+def test_injected_overcapacity_admit_is_caught(monkeypatch):
+    monkeypatch.setattr(LRUCache, "insert", _leaky_insert)
+    config = SimulationConfig(scheme=CachingScheme.LC, **SMALL)
+    with pytest.raises(InvariantViolation) as excinfo:
+        run_checked(config)
+    violation = excinfo.value
+    assert violation.invariant == "cache-capacity"
+    assert violation.seed == config.seed
+    assert violation.sim_time > 0.0
+    assert isinstance(violation.host, int)
+    assert 0 <= violation.host < config.n_clients
+    assert violation.details["occupancy"] > violation.details["capacity"]
+    assert "[cache-capacity]" in str(violation)
+
+
+def test_injected_bug_collect_mode_keeps_running(monkeypatch):
+    monkeypatch.setattr(LRUCache, "insert", _leaky_insert)
+    config = SimulationConfig(scheme=CachingScheme.LC, **SMALL)
+    results, report = run_checked(config, mode="collect")
+    assert not report.ok
+    assert results.requests > 0  # the run survived to completion
+    assert any(v.invariant == "cache-capacity" for v in report.violations)
+
+
+# -- hook-level unit tests -----------------------------------------------------
+
+
+class _FakeEnv:
+    def __init__(self, now=5.0):
+        self.now = now
+
+
+class _FakeCondition:
+    def __init__(self, env, fired, members):
+        self.env = env
+        self._fired_count = fired
+        self.events = [object()] * members
+
+
+def test_schedule_in_past_hook():
+    monitor = InvariantMonitor()
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_schedule(_FakeEnv(now=5.0), when=4.0)
+    assert excinfo.value.invariant == "kernel-schedule-in-past"
+    assert excinfo.value.details["when"] == 4.0
+
+
+def test_step_backwards_hook():
+    monitor = InvariantMonitor()
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_step(_FakeEnv(now=5.0), when=3.0)
+    assert excinfo.value.invariant == "kernel-time-monotonicity"
+
+
+def test_condition_overcount_hook():
+    monitor = InvariantMonitor()
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_condition_fire(_FakeCondition(_FakeEnv(), fired=3, members=2))
+    assert excinfo.value.invariant == "kernel-condition-overcount"
+
+
+def test_search_concurrency_hook():
+    monitor = InvariantMonitor()
+    monitor.on_search_open(host=0, sid=(0, 1), now=1.0)
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_search_open(host=0, sid=(0, 2), now=2.0)
+    assert excinfo.value.invariant == "search-concurrency"
+    assert excinfo.value.host == 0
+
+
+def test_search_close_mismatch_hook():
+    monitor = InvariantMonitor()
+    monitor.on_search_open(host=3, sid=(3, 1), now=1.0)
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_search_close(host=3, sid=(3, 9), outcome="reply", now=2.0)
+    assert excinfo.value.invariant == "search-conservation"
+
+
+def test_search_unknown_outcome_hook():
+    monitor = InvariantMonitor()
+    monitor.on_search_open(host=1, sid=(1, 1), now=1.0)
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.on_search_close(host=1, sid=(1, 1), outcome="vanished", now=2.0)
+    assert excinfo.value.invariant == "search-unknown-outcome"
+
+
+def test_cache_capacity_hook_direct():
+    monitor = InvariantMonitor()
+    cache = LRUCache(capacity=1)
+    # Bypass insert() to build an illegal two-entry state.
+    from repro.cache.lru import CacheEntry
+
+    cache._entries[1] = CacheEntry(item=1)
+    cache._entries[2] = CacheEntry(item=2)
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.check_client_cache(host=4, cache=cache, now=10.0)
+    assert excinfo.value.invariant == "cache-capacity"
+
+
+def test_cache_entry_integrity_hook():
+    monitor = InvariantMonitor()
+    from repro.cache.lru import CacheEntry
+
+    cache = LRUCache(capacity=4)
+    cache._entries[1] = CacheEntry(item=99)  # key/entry mismatch
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.check_client_cache(host=0, cache=cache, now=0.0)
+    assert excinfo.value.invariant == "cache-entry-integrity"
+
+
+def test_server_reply_hooks():
+    monitor = InvariantMonitor()
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.check_server_reply(
+            client=2,
+            expiry=1.0,
+            retrieve_time=5.0,
+            added=set(),
+            removed=set(),
+            now=5.0,
+        )
+    assert excinfo.value.invariant == "server-expiry-in-past"
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.check_server_reply(
+            client=2,
+            expiry=math.inf,
+            retrieve_time=9.0,
+            added={1},
+            removed={1},
+            now=5.0,
+        )
+    # retrieve-from-future fires before the overlap check.
+    assert excinfo.value.invariant == "server-retrieve-from-future"
+    with pytest.raises(InvariantViolation) as excinfo:
+        monitor.check_server_reply(
+            client=2,
+            expiry=math.inf,
+            retrieve_time=5.0,
+            added={1, 2},
+            removed={2},
+            now=5.0,
+        )
+    assert excinfo.value.invariant == "membership-delta-overlap"
+
+
+def test_collect_mode_records_instead_of_raising():
+    monitor = InvariantMonitor(mode="collect")
+    monitor.on_schedule(_FakeEnv(now=5.0), when=4.0)
+    report = monitor.report()
+    assert not report.ok
+    assert [v.invariant for v in report.violations] == ["kernel-schedule-in-past"]
+    assert "1 violations" in report.summary()
+
+
+def test_monitor_constructor_validation():
+    with pytest.raises(ValueError):
+        InvariantMonitor(mode="panic")
+    with pytest.raises(ValueError):
+        InvariantMonitor(audit_interval=0.0)

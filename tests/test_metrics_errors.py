@@ -1,0 +1,78 @@
+"""Error-path contracts: tracing-disabled metrics and SweepTable lookups.
+
+These messages are user-facing API (docs and notebooks point at them), so
+they are asserted verbatim.
+"""
+
+import pytest
+
+from repro.core.metrics import Metrics, Results
+from repro.experiments.runner import SweepTable
+
+
+def test_latency_percentiles_requires_tracing():
+    metrics = Metrics("GC", trace=False)
+    with pytest.raises(RuntimeError) as excinfo:
+        metrics.latency_percentiles()
+    assert str(excinfo.value) == "latency_percentiles requires tracing enabled"
+
+
+def test_client_timeline_requires_tracing():
+    metrics = Metrics("GC", trace=False)
+    with pytest.raises(RuntimeError) as excinfo:
+        metrics.client_timeline(0)
+    assert str(excinfo.value) == "client_timeline requires tracing enabled"
+
+
+def _table():
+    results = Results(
+        scheme="GC",
+        requests=10,
+        local_hits=5,
+        global_hits=3,
+        global_hits_tcg=1,
+        server_requests=2,
+        failures=0,
+        access_latency=0.01,
+        latency_stddev=0.0,
+        power_data=1.0,
+        power_signature=0.0,
+        power_beacon=0.0,
+        power_per_gch=1.0,
+        validations=0,
+        validation_refreshes=0,
+        bypassed_searches=0,
+        peer_searches=0,
+        measured_time=10.0,
+        sim_time=100.0,
+    )
+    return SweepTable(
+        figure="fig2",
+        parameter="cache_size",
+        values=[100, 200],
+        rows={"GC": [results, results]},
+    )
+
+
+def test_sweep_table_unknown_scheme_message():
+    with pytest.raises(KeyError) as excinfo:
+        _table().series("CC", "gch_ratio")
+    assert excinfo.value.args[0] == (
+        "scheme 'CC' was not swept in fig2; available schemes: ['GC']"
+    )
+
+
+def test_sweep_table_unknown_scheme_in_result_lookup():
+    with pytest.raises(KeyError) as excinfo:
+        _table().result("LC", 100)
+    assert excinfo.value.args[0] == (
+        "scheme 'LC' was not swept in fig2; available schemes: ['GC']"
+    )
+
+
+def test_sweep_table_unswept_value_message():
+    with pytest.raises(ValueError) as excinfo:
+        _table().result("GC", 150)
+    assert str(excinfo.value) == (
+        "cache_size=150 was not swept in fig2; swept values: [100, 200]"
+    )

@@ -1,0 +1,69 @@
+"""Differential scheme-ordering tests (the paper's qualitative claims).
+
+Section VI's headline orderings must hold on paired seeds: cooperation
+can only add ways to hit (GC >= CC >= LC on global cache hits), and a
+bigger cache can only lower access latency.  Tolerances absorb the noise
+floor of the deliberately tiny configurations.
+"""
+
+import pytest
+
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.simulation import run_simulation
+
+SMALL = dict(
+    n_clients=8,
+    n_data=200,
+    access_range=40,
+    cache_size=8,
+    group_size=4,
+    measure_requests=8,
+    warmup_min_time=30.0,
+    warmup_max_time=60.0,
+    ndp_enabled=False,
+)
+
+#: Percentage points of slack on hit-ratio orderings.
+RATIO_TOL = 1.0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_global_hit_ratio_ordering_gc_cc_lc(seed):
+    config = SimulationConfig(seed=seed, **SMALL)
+    by_scheme = {
+        scheme: run_simulation(config.with_scheme(scheme))
+        for scheme in CachingScheme
+    }
+    lc = by_scheme[CachingScheme.LC].gch_ratio
+    cc = by_scheme[CachingScheme.CC].gch_ratio
+    gc = by_scheme[CachingScheme.GC].gch_ratio
+    assert lc == 0.0  # conventional caching has no peers to hit
+    assert cc >= lc - RATIO_TOL
+    assert gc >= cc - RATIO_TOL
+    assert gc > 0.0 and cc > 0.0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_cooperation_reduces_server_dependence(seed):
+    """Peer hits must come out of the server's share, not local hits."""
+    config = SimulationConfig(seed=seed, **SMALL)
+    lc = run_simulation(config.with_scheme(CachingScheme.LC))
+    cc = run_simulation(config.with_scheme(CachingScheme.CC))
+    assert cc.server_request_ratio <= lc.server_request_ratio + RATIO_TOL
+
+
+@pytest.mark.parametrize("scheme", [CachingScheme.CC, CachingScheme.GC])
+def test_latency_monotone_in_cache_size(scheme):
+    """Fig. 2's shape: more cache never makes access latency worse."""
+    sizes = [4, 8, 16, 32]
+    latencies = []
+    for size in sizes:
+        config = SimulationConfig(
+            scheme=scheme, seed=5, **{**SMALL, "cache_size": size}
+        )
+        latencies.append(run_simulation(config).access_latency)
+    # Pairwise non-increasing within a 15% noise band, and the end points
+    # must show a genuine improvement.
+    for smaller, larger in zip(latencies, latencies[1:]):
+        assert larger <= smaller * 1.15
+    assert latencies[-1] < latencies[0]

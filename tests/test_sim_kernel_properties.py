@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Environment, Resource, Store
+from repro.sim import AllOf, AnyOf, Environment, Resource, Store
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
@@ -89,6 +89,144 @@ def test_store_is_fifo_under_any_interleaving(items, getter_count):
     env.run(until=1000.0)
     delivered = min(len(items), getter_count)
     assert received == list(items[:delivered])
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=60)
+def test_any_of_fires_at_the_earliest_timeout_with_the_right_winner(delays):
+    """The COCA reply-or-timeout race: AnyOf resolves at min(delays)."""
+    env = Environment()
+    outcome = {}
+
+    def racer():
+        timeouts = [env.timeout(delay, value=delay) for delay in delays]
+        fired = yield AnyOf(env, timeouts)
+        outcome["at"] = env.now
+        outcome["values"] = sorted(fired.values())
+
+    env.process(racer())
+    env.run()
+    assert outcome["at"] == min(delays)
+    assert outcome["values"] == [min(delays)]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=60)
+def test_all_of_fires_at_the_latest_timeout_with_every_value(delays):
+    env = Environment()
+    outcome = {}
+
+    def gatherer():
+        timeouts = [env.timeout(delay, value=delay) for delay in delays]
+        fired = yield AllOf(env, timeouts)
+        outcome["at"] = env.now
+        outcome["values"] = sorted(fired.values())
+
+    env.process(gatherer())
+    env.run()
+    assert outcome["at"] == max(delays)
+    assert outcome["values"] == sorted(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20.0),  # AnyOf arm A
+            st.floats(min_value=0.0, max_value=20.0),  # AnyOf arm B
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=60)
+def test_interleaved_any_of_races_each_resolve_at_their_own_minimum(pairs):
+    """Many concurrent two-way races never cross-wake each other."""
+    env = Environment()
+    resolved = {}
+
+    def racer(tag, a, b):
+        yield AnyOf(env, [env.timeout(a), env.timeout(b)])
+        resolved[tag] = env.now
+
+    for tag, (a, b) in enumerate(pairs):
+        env.process(racer(tag, a, b))
+    env.run()
+    assert resolved == {tag: min(a, b) for tag, (a, b) in enumerate(pairs)}
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=30.0),
+        min_size=2,
+        max_size=12,
+        unique=True,
+    ),
+    st.integers(min_value=1, max_value=3),
+    st.floats(min_value=0.5, max_value=5.0),
+)
+@settings(max_examples=60)
+def test_resource_grants_are_fcfs_with_no_starvation(arrivals, capacity, hold):
+    """Grant order equals request order; every job is eventually served."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    granted = []
+
+    def job(tag, arrival):
+        yield env.timeout(arrival)
+        grant = resource.request()
+        yield grant
+        granted.append(tag)
+        yield env.timeout(hold)
+        resource.release(grant)
+
+    for tag, arrival in enumerate(arrivals):
+        env.process(job(tag, arrival))
+    env.run()
+    # Unique arrivals fix the request order; FCFS must preserve it.
+    expected = [tag for tag, _ in sorted(enumerate(arrivals), key=lambda x: x[1])]
+    assert granted == expected
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30)
+def test_resource_queue_drains_in_fifo_order_under_contention(jobs, capacity):
+    """Simultaneous arrivals queue and are granted in submission order."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    granted = []
+
+    def job(tag):
+        grant = resource.request()
+        yield grant
+        granted.append(tag)
+        yield env.timeout(1.0)
+        resource.release(grant)
+
+    def spawner():
+        # Issue every request at the same instant, in tag order.
+        for tag in range(jobs):
+            env.process(job(tag))
+        yield env.timeout(0.0)
+
+    env.process(spawner())
+    env.run()
+    assert granted == list(range(jobs))
+    assert resource.count == 0
+    assert resource.queue_length == 0
 
 
 @given(st.integers(min_value=1, max_value=50))
