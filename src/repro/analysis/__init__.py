@@ -1,0 +1,61 @@
+"""Analysis tooling: post-run scoring and the ``simlint`` static checker.
+
+Two unrelated-looking halves that answer the same question — *can this
+run be trusted?* — at two different times:
+
+* :mod:`repro.analysis.postrun` scores a **finished**
+  :class:`~repro.core.simulation.Simulation` against ground truth the
+  paper could not observe (TCG discovery precision/recall, cache
+  duplication, fairness).  Its public names are re-exported here, so
+  ``from repro.analysis import tcg_discovery_quality`` keeps working.
+* :mod:`repro.analysis.engine` plus the ``rules_*`` modules are
+  **simlint**: an AST-based static-analysis pass, run at review time
+  over the source tree (``python -m repro lint``), that enforces the
+  repo's determinism contract (all randomness through
+  :class:`~repro.sim.random.RandomStreams`, no wall clock in simulated
+  code), DES-kernel discipline (only kernel events are yielded from
+  process bodies, no blocking calls) and the
+  :class:`~repro.core.config.SimulationConfig` field contracts.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and the
+pragma/baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import (
+    LintReport,
+    LintRule,
+    LintViolation,
+    ModuleSource,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_registry,
+)
+from repro.analysis.postrun import (
+    DiscoveryQuality,
+    cache_duplication,
+    cache_overlap_matrix,
+    group_distinct_items,
+    jain_fairness,
+    tcg_discovery_quality,
+)
+
+__all__ = [
+    "Baseline",
+    "DiscoveryQuality",
+    "LintReport",
+    "LintRule",
+    "LintViolation",
+    "ModuleSource",
+    "all_rules",
+    "cache_duplication",
+    "cache_overlap_matrix",
+    "fingerprint",
+    "group_distinct_items",
+    "jain_fairness",
+    "lint_paths",
+    "lint_source",
+    "rule_registry",
+    "tcg_discovery_quality",
+]

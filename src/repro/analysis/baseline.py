@@ -1,0 +1,128 @@
+"""Grandfathered-findings baseline for simlint.
+
+The baseline turns simlint from a boil-the-ocean proposition into a
+ratchet: findings that predate a rule are recorded once (fingerprinted)
+and stop failing the build, while anything *new* still exits non-zero.
+``repro lint --update-baseline`` rewrites the file from the current
+tree; deleting an entry (or the file) re-arms the corresponding finding.
+
+Fingerprints are **content-addressed, not line-addressed**: the SHA-256
+of ``rule :: path :: stripped-source-line``.  Unrelated edits that shift
+line numbers leave fingerprints intact; editing the offending line
+itself re-arms the finding, which is exactly the moment a human should
+re-decide whether it is still acceptable.  Identical offending lines in
+one file share a fingerprint, so the baseline stores a multiplicity and
+grandfathers at most that many occurrences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.engine import LintViolation
+
+__all__ = ["BASELINE_FORMAT", "Baseline", "fingerprint"]
+
+#: Bump when the baseline file layout changes.
+BASELINE_FORMAT = 1
+
+
+def fingerprint(violation: LintViolation, source_line: str) -> str:
+    """Stable content-addressed key of one finding."""
+    payload = f"{violation.rule}::{violation.path}::{source_line.strip()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings (fingerprint -> count)."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path} is not a simlint baseline file")
+        if payload.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"{path} has baseline format {payload.get('format')!r}; "
+                f"this simlint reads format {BASELINE_FORMAT}"
+            )
+        return cls(entries=list(payload["entries"]))
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        payload = {
+            "format": BASELINE_FORMAT,
+            "comment": (
+                "Grandfathered simlint findings; regenerate with "
+                "'python -m repro lint --update-baseline'.  Delete an "
+                "entry to re-arm its finding."
+            ),
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (str(e.get("path")), str(e.get("rule")), str(e.get("fingerprint"))),
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    def allowances(self) -> Dict[str, int]:
+        """Fingerprint -> how many occurrences are grandfathered."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            key = str(entry.get("fingerprint"))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @classmethod
+    def from_violations(
+        cls, pairs: List[Tuple[LintViolation, str]]
+    ) -> "Baseline":
+        """Build a baseline grandfathering exactly the given findings.
+
+        ``pairs`` holds ``(violation, source_line)`` tuples; the source
+        line feeds the fingerprint and a human-readable note rides along
+        so reviewers can audit the file without chasing locations.
+        """
+        entries = [
+            {
+                "fingerprint": fingerprint(violation, line),
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "note": violation.message,
+            }
+            for violation, line in pairs
+        ]
+        return cls(entries=entries)
+
+    def split(
+        self, pairs: List[Tuple[LintViolation, str]]
+    ) -> Tuple[List[LintViolation], List[LintViolation], List[str]]:
+        """Partition findings into (new, grandfathered) plus stale keys.
+
+        Stale keys are baseline fingerprints that matched nothing — the
+        offending code was fixed or rewritten — and should be pruned
+        with ``--update-baseline``.
+        """
+        remaining = self.allowances()
+        new: List[LintViolation] = []
+        grandfathered: List[LintViolation] = []
+        for violation, line in pairs:
+            key = fingerprint(violation, line)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered.append(violation)
+            else:
+                new.append(violation)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return new, grandfathered, stale

@@ -1,0 +1,465 @@
+"""The simlint rule engine: sources, rules, pragmas, reports.
+
+The engine is deliberately small: a :class:`ModuleSource` wraps one
+parsed file (source text, AST, an import-alias table for resolving
+dotted names like ``np.random.default_rng`` back to
+``numpy.random.default_rng``); a :class:`LintRule` walks the AST and
+yields structured :class:`LintViolation` records; :func:`lint_source`
+applies every registered rule to one module and then the pragma layer;
+:func:`lint_paths` walks a source tree and aggregates a
+:class:`LintReport`.
+
+Suppression happens at two levels, both audited:
+
+* ``# simlint: allow[rule-id] reason=...`` on the offending line (or
+  ``allow-file`` anywhere, for the whole file).  The reason is
+  **mandatory** — a pragma without one is itself a violation
+  (``pragma-missing-reason``), as is a pragma naming an unknown rule
+  (``pragma-unknown-rule``) or one that suppresses nothing
+  (``pragma-unused``).
+* the committed baseline (:mod:`repro.analysis.baseline`) grandfathers
+  pre-existing findings so new code is gated strictly while old code is
+  paid down incrementally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "LintReport",
+    "LintRule",
+    "LintViolation",
+    "META_RULES",
+    "ModuleSource",
+    "all_rules",
+    "display_path",
+    "iter_python_files",
+    "known_rule_ids",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_registry",
+]
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: rule id, location, message and a concrete fix hint."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    severity: str = "error"
+
+    @property
+    def location(self) -> str:
+        """``path:line:column`` — the clickable form used by reports."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (the ``--format json`` payload rows)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "severity": self.severity,
+        }
+
+
+class ModuleSource:
+    """One parsed module: path, text, AST and an import-alias table."""
+
+    def __init__(self, path: Path, text: str, display_path: Optional[str] = None):
+        self.path = Path(path)
+        self.display_path = display_path or self.path.as_posix()
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.module = _module_name(self.path)
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: ast.AST = ast.parse(text)
+        except SyntaxError as error:
+            self.parse_error = error
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self.imports = _import_table(self.tree)
+
+    @classmethod
+    def from_path(cls, path: Path, display_path: Optional[str] = None) -> "ModuleSource":
+        return cls(path, Path(path).read_text(encoding="utf-8"), display_path)
+
+    def source_line(self, line: int) -> str:
+        """The stripped text of 1-indexed ``line`` ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve an attribute chain to its imported dotted name.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when the module did
+        ``import numpy as np``; names that do not lead back to an import
+        resolve to ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)]) if parts else base
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name for a file under a ``repro`` package tree."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _import_table(tree: ast.AST) -> Dict[str, str]:
+    """Map local aliases to the dotted names they import."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the top-level name ``a``.
+                    top = alias.name.split(".")[0]
+                    table[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+class LintRule:
+    """Base class: subclass, set the class attributes, implement ``check``.
+
+    ``allow_modules`` lists dotted module names (exact matches) where the
+    rule never fires — the sanctioned homes of otherwise-forbidden
+    constructs (e.g. :mod:`repro.sim.random` is the one place allowed to
+    build numpy generators).
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    hint: str = ""
+    allow_modules: Tuple[str, ...] = ()
+
+    def check(self, module: ModuleSource) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return module.module not in self.allow_modules
+
+    def violation(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> LintViolation:
+        return LintViolation(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+#: Engine-level findings about the suppression machinery itself.  They are
+#: not suppressible (a pragma cannot vouch for another pragma).
+META_RULES: Dict[str, str] = {
+    "parse-error": "the file does not parse; nothing else was checked",
+    "pragma-missing-reason": "allow pragmas must carry reason=...",
+    "pragma-unknown-rule": "allow pragmas must name registered rules",
+    "pragma-unused": "allow pragmas must suppress at least one finding",
+}
+
+
+def rule_registry() -> Dict[str, Type[LintRule]]:
+    """The registered AST rules by id (imports the rule modules)."""
+    # Imported here, not at module top, to avoid a cycle: rule modules
+    # import this module for the base class and the register decorator.
+    from repro.analysis import rules_config, rules_determinism, rules_kernel  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [cls() for _, cls in sorted(rule_registry().items())]
+
+
+def known_rule_ids() -> Set[str]:
+    """Every id a pragma may legally name (AST rules + meta rules)."""
+    return set(rule_registry()) | set(META_RULES)
+
+
+# -- pragmas -----------------------------------------------------------------
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*(?P<scope>allow-file|allow)\[(?P<rules>[^\]]*)\](?P<rest>.*)$"
+)
+_REASON_RE = re.compile(r"\breason\s*=\s*\S")
+
+
+@dataclass
+class _Pragma:
+    line: int
+    scope: str  # "allow" or "allow-file"
+    rules: List[str]
+    has_reason: bool
+    used: bool = False
+
+
+def _comment_tokens(module: ModuleSource) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every real comment — string literals that merely
+    *mention* a pragma (docs, hints) must not activate one."""
+    import io
+    import tokenize
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(module.text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def _parse_pragmas(module: ModuleSource) -> List[_Pragma]:
+    pragmas: List[_Pragma] = []
+    for number, text in _comment_tokens(module):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+        pragmas.append(
+            _Pragma(
+                line=number,
+                scope=match.group("scope"),
+                rules=rules,
+                has_reason=bool(_REASON_RE.search(match.group("rest"))),
+            )
+        )
+    return pragmas
+
+
+def _meta_violation(
+    module: ModuleSource, rule: str, line: int, message: str, hint: str = ""
+) -> LintViolation:
+    return LintViolation(
+        rule=rule,
+        path=module.display_path,
+        line=line,
+        column=1,
+        message=message,
+        hint=hint,
+    )
+
+
+def lint_source(
+    module: ModuleSource, rules: Optional[Sequence[LintRule]] = None
+) -> List[LintViolation]:
+    """Apply every rule plus the pragma layer to one module."""
+    if module.parse_error is not None:
+        line = module.parse_error.lineno or 1
+        return [
+            _meta_violation(
+                module,
+                "parse-error",
+                line,
+                f"syntax error: {module.parse_error.msg}",
+            )
+        ]
+    found: List[LintViolation] = []
+    seen: Set[LintViolation] = set()
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(module):
+            continue
+        for violation in rule.check(module):
+            # Overlapping detection sites (e.g. a dict checked both by
+            # naming convention and through a ** spread) may report the
+            # same finding twice; keep the first.
+            if violation not in seen:
+                seen.add(violation)
+                found.append(violation)
+
+    pragmas = _parse_pragmas(module)
+    known = known_rule_ids()
+    results: List[LintViolation] = []
+    for pragma in pragmas:
+        if not pragma.has_reason:
+            results.append(
+                _meta_violation(
+                    module,
+                    "pragma-missing-reason",
+                    pragma.line,
+                    "allow pragma without a reason",
+                    hint="write # simlint: allow[rule] reason=<why this is safe>",
+                )
+            )
+        for rule_id in pragma.rules:
+            if rule_id not in known:
+                results.append(
+                    _meta_violation(
+                        module,
+                        "pragma-unknown-rule",
+                        pragma.line,
+                        f"allow pragma names unknown rule {rule_id!r}",
+                        hint="run 'repro lint --rules' for the rule catalogue",
+                    )
+                )
+            elif rule_id in META_RULES:
+                results.append(
+                    _meta_violation(
+                        module,
+                        "pragma-unknown-rule",
+                        pragma.line,
+                        f"meta rule {rule_id!r} cannot be suppressed by pragma",
+                    )
+                )
+
+    for violation in found:
+        if _suppressed(violation, pragmas):
+            continue
+        results.append(violation)
+
+    for pragma in pragmas:
+        if pragma.has_reason and not pragma.used and all(r in known for r in pragma.rules):
+            results.append(
+                _meta_violation(
+                    module,
+                    "pragma-unused",
+                    pragma.line,
+                    f"allow pragma for {', '.join(pragma.rules) or '(nothing)'} "
+                    "suppressed no finding",
+                    hint="delete the pragma; the code it excused is gone",
+                )
+            )
+    results.sort(key=lambda v: (v.line, v.column, v.rule))
+    return results
+
+
+def _suppressed(violation: LintViolation, pragmas: List[_Pragma]) -> bool:
+    if violation.rule in META_RULES:
+        return False
+    for pragma in pragmas:
+        if violation.rule not in pragma.rules:
+            continue
+        if pragma.scope == "allow-file" or pragma.line == violation.line:
+            pragma.used = True
+            return True
+    return False
+
+
+# -- tree walking ------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Everything one ``repro lint`` invocation found."""
+
+    violations: List[LintViolation] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": len(self.files),
+            "violation_count": len(self.violations),
+            "counts_by_rule": self.counts_by_rule(),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def display_path(path: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path], rules: Optional[Sequence[LintRule]] = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    rules = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        module = ModuleSource.from_path(file_path, display_path(file_path))
+        report.files.append(module.display_path)
+        report.violations.extend(lint_source(module, rules))
+    report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return report

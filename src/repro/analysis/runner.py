@@ -1,0 +1,174 @@
+"""The ``repro lint`` front end: baseline application and report rendering.
+
+:func:`run_lint` is the single entry point the CLI (and the test suite)
+drives: lint the given paths, split findings against the baseline,
+render text or JSON, optionally rewrite the baseline, and map the
+outcome to a process exit code (0 = clean or fully grandfathered,
+1 = new findings, 2 = usage error — handled by the CLI layer).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import (
+    META_RULES,
+    LintViolation,
+    ModuleSource,
+    all_rules,
+    display_path,
+    iter_python_files,
+    lint_source,
+)
+
+__all__ = ["DEFAULT_BASELINE", "LintOutcome", "render_rule_catalogue", "run_lint"]
+
+#: The committed baseline at the repo root.
+DEFAULT_BASELINE = Path("simlint-baseline.json")
+
+
+@dataclass
+class LintOutcome:
+    """Everything one lint invocation decided."""
+
+    new: List[LintViolation] = field(default_factory=list)
+    grandfathered: List[LintViolation] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.new:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def as_dict(self) -> Dict[str, object]:
+        """The ``--format json`` payload (also the CI artifact)."""
+        return {
+            "files_checked": len(self.files),
+            "new_count": len(self.new),
+            "grandfathered_count": len(self.grandfathered),
+            "stale_baseline": list(self.stale_baseline),
+            "counts_by_rule": self.counts_by_rule(),
+            "violations": [v.as_dict() for v in self.new],
+            "grandfathered": [v.as_dict() for v in self.grandfathered],
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for violation in self.new:
+            lines.append(
+                f"{violation.location}: {violation.rule}: {violation.message}"
+            )
+            if violation.hint:
+                lines.append(f"    hint: {violation.hint}")
+        summary = (
+            f"simlint: {len(self.files)} file(s), "
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.grandfathered)} grandfathered"
+        )
+        if self.stale_baseline:
+            summary += f", {len(self.stale_baseline)} stale baseline entr(ies)"
+        lines.append(summary)
+        if self.stale_baseline:
+            lines.append(
+                "    hint: prune stale entries with "
+                "'python -m repro lint --update-baseline'"
+            )
+        return "\n".join(lines)
+
+
+def _collect(
+    paths: Sequence[Path],
+) -> Tuple[List[Tuple[LintViolation, str]], List[str]]:
+    """Lint every file; pair each finding with its source line text."""
+    rules = all_rules()
+    pairs: List[Tuple[LintViolation, str]] = []
+    files: List[str] = []
+    for file_path in iter_python_files(paths):
+        module = ModuleSource.from_path(file_path, display_path(file_path))
+        files.append(module.display_path)
+        for violation in lint_source(module, rules):
+            pairs.append((violation, module.source_line(violation.line)))
+    pairs.sort(key=lambda p: (p[0].path, p[0].line, p[0].column, p[0].rule))
+    return pairs, files
+
+
+def run_lint(
+    paths: Sequence[Path],
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+    output_format: str = "text",
+    json_report: Optional[Path] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Lint ``paths`` and print a report; returns the exit code.
+
+    ``baseline_path=None`` means "no baseline" (everything is new);
+    the CLI passes :data:`DEFAULT_BASELINE` when the flag is omitted.
+    ``update_baseline`` rewrites the baseline to grandfather exactly the
+    current findings and exits 0.  ``json_report`` additionally writes
+    the JSON payload to a file whatever ``output_format`` says (the CI
+    artifact path).
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    pairs, files = _collect(paths)
+
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path is not None else Baseline()
+    )
+    if update_baseline:
+        if baseline_path is None:
+            raise ValueError("--update-baseline needs a baseline path")
+        # Meta findings (broken pragmas, parse errors) are never
+        # grandfathered: they are defects of the suppression machinery.
+        keep = [(v, line) for v, line in pairs if v.rule not in META_RULES]
+        Baseline.from_violations(keep).save(baseline_path)
+        skipped = len(pairs) - len(keep)
+        message = (
+            f"simlint: baseline {baseline_path} rewritten with "
+            f"{len(keep)} entr(ies)"
+        )
+        if skipped:
+            message += f"; {skipped} meta finding(s) NOT grandfathered"
+        print(message, file=out)
+        return 1 if skipped else 0
+
+    new, grandfathered, stale = baseline.split(pairs)
+    outcome = LintOutcome(
+        new=new, grandfathered=grandfathered, stale_baseline=stale, files=files
+    )
+    if json_report is not None:
+        Path(json_report).write_text(
+            json.dumps(outcome.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if output_format == "json":
+        print(json.dumps(outcome.as_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(outcome.render_text(), file=out)
+    return outcome.exit_code
+
+
+def render_rule_catalogue() -> str:
+    """The ``--rules`` listing: every rule id with its one-line contract."""
+    lines = ["simlint rules:"]
+    for rule in all_rules():
+        lines.append(f"  {rule.id} [{rule.severity}]")
+        lines.append(f"      {rule.description}")
+        if rule.allow_modules:
+            lines.append(f"      allowlisted: {', '.join(rule.allow_modules)}")
+    lines.append("meta rules (engine-level, not suppressible):")
+    for rule_id, description in sorted(META_RULES.items()):
+        lines.append(f"  {rule_id}: {description}")
+    return "\n".join(lines)

@@ -18,11 +18,17 @@ Quick start::
     assert report.ok, report.violations
 """
 
+from typing import TYPE_CHECKING, Tuple
+
 from repro.check.monitor import (
     InvariantMonitor,
     InvariantViolation,
     MonitorReport,
 )
+
+if TYPE_CHECKING:
+    from repro.core.config import SimulationConfig
+    from repro.core.metrics import Results
 
 __all__ = [
     "InvariantMonitor",
@@ -32,7 +38,9 @@ __all__ = [
 ]
 
 
-def run_checked(config, mode: str = "raise", audit_interval: float = 5.0):
+def run_checked(
+    config: "SimulationConfig", mode: str = "raise", audit_interval: float = 5.0
+) -> "Tuple[Results, MonitorReport]":
     """Run one simulation under a fresh :class:`InvariantMonitor`.
 
     Returns ``(results, report)``.  With ``mode="raise"`` (default) the

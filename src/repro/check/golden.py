@@ -92,7 +92,7 @@ GOLDEN_CASES: Dict[str, SimulationConfig] = {
 class GoldenMismatch(AssertionError):
     """A replayed run drifted from its committed fixture."""
 
-    def __init__(self, name: str, diffs: List[str]):
+    def __init__(self, name: str, diffs: List[str]) -> None:
         self.name = name
         self.diffs = list(diffs)
         listing = "\n  ".join(self.diffs)

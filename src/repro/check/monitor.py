@@ -74,7 +74,7 @@ class InvariantViolation(AssertionError):
         host: Optional[int] = None,
         seed: Optional[int] = None,
         details: Optional[Dict[str, Any]] = None,
-    ):
+    ) -> None:
         self.invariant = invariant
         self.sim_time = sim_time
         self.host = host
@@ -129,7 +129,7 @@ class InvariantMonitor:
     on every event regardless.
     """
 
-    def __init__(self, mode: str = "raise", audit_interval: float = 5.0):
+    def __init__(self, mode: str = "raise", audit_interval: float = 5.0) -> None:
         if mode not in ("raise", "collect"):
             raise ValueError(f"mode must be 'raise' or 'collect', got {mode!r}")
         if audit_interval <= 0:
@@ -137,7 +137,7 @@ class InvariantMonitor:
         self.mode = mode
         self.audit_interval = float(audit_interval)
         self.seed: Optional[int] = None
-        self.config = None
+        self.config: Any = None
         self.checks_run = 0
         self.violations: List[InvariantViolation] = []
         # Search conservation bookkeeping.
@@ -153,7 +153,7 @@ class InvariantMonitor:
 
     # -- plumbing ---------------------------------------------------------------
 
-    def bind(self, config) -> None:
+    def bind(self, config: Any) -> None:
         """Attach the run's config so violations carry the replay seed."""
         self.config = config
         self.seed = config.seed
@@ -191,7 +191,7 @@ class InvariantMonitor:
 
     # -- kernel hooks -----------------------------------------------------------
 
-    def on_schedule(self, env, when: float) -> None:
+    def on_schedule(self, env: Any, when: float) -> None:
         """Called on every heap push: no event may land in the past."""
         self.checks_run += 1
         self._scheduled += 1
@@ -203,7 +203,7 @@ class InvariantMonitor:
                 details={"when": when},
             )
 
-    def on_step(self, env, when: float) -> None:
+    def on_step(self, env: Any, when: float) -> None:
         """Called on every heap pop: the clock must never run backwards."""
         self.checks_run += 1
         self._stepped += 1
@@ -215,7 +215,7 @@ class InvariantMonitor:
                 details={"when": when},
             )
 
-    def on_condition_fire(self, condition) -> None:
+    def on_condition_fire(self, condition: Any) -> None:
         """AnyOf/AllOf bookkeeping: fired count bounded by member count."""
         self.checks_run += 1
         if condition._fired_count > len(condition.events):
@@ -228,7 +228,7 @@ class InvariantMonitor:
 
     # -- client hooks -----------------------------------------------------------
 
-    def on_search_open(self, host: int, sid, now: float) -> None:
+    def on_search_open(self, host: int, sid: Any, now: float) -> None:
         """A peer search started; a host runs at most one at a time."""
         self.checks_run += 1
         self.searches_opened += 1
@@ -242,7 +242,7 @@ class InvariantMonitor:
             )
         self._open_searches[host] = sid
 
-    def on_search_close(self, host: int, sid, outcome: str, now: float) -> None:
+    def on_search_close(self, host: int, sid: Any, outcome: str, now: float) -> None:
         """A peer search ended; it must match the open one and be one of
         the three legal terminations (reply / timeout / MSS fallback)."""
         self.checks_run += 1
@@ -265,7 +265,7 @@ class InvariantMonitor:
                 host=host,
             )
 
-    def check_client_cache(self, host: int, cache, now: float) -> None:
+    def check_client_cache(self, host: int, cache: Any, now: float) -> None:
         """Cache occupancy ≤ capacity and key/entry integrity."""
         self.checks_run += 1
         if len(cache) > cache.capacity:
@@ -295,8 +295,8 @@ class InvariantMonitor:
         client: int,
         expiry: float,
         retrieve_time: float,
-        added,
-        removed,
+        added: Any,
+        removed: Any,
         now: float,
     ) -> None:
         """MSS replies must be internally consistent with the clock."""
@@ -325,7 +325,7 @@ class InvariantMonitor:
 
     # -- NDP hooks --------------------------------------------------------------
 
-    def check_ndp(self, ndp, now: float) -> None:
+    def check_ndp(self, ndp: Any, now: float) -> None:
         """Neighbour-table symmetry within the beacon staleness bound.
 
         Beacon reception is symmetric (shared ``connected`` mask, symmetric
@@ -370,7 +370,7 @@ class InvariantMonitor:
 
     # -- TCG hooks --------------------------------------------------------------
 
-    def check_tcg_row(self, tcg, client: int, now: float = math.nan) -> None:
+    def check_tcg_row(self, tcg: Any, client: int, now: float = math.nan) -> None:
         """One client's TCG row: symmetric, irreflexive, threshold-true."""
         self.checks_run += 1
         row = tcg.member[client]
@@ -411,7 +411,7 @@ class InvariantMonitor:
 
     # -- global audit ------------------------------------------------------------
 
-    def audit(self, simulation) -> None:
+    def audit(self, simulation: Any) -> None:
         """Periodic whole-system sweep over every subsystem's invariants."""
         env = simulation.env
         now = env.now
@@ -450,7 +450,7 @@ class InvariantMonitor:
         self._audit_power(simulation.ledger, now)
         self._audit_metrics(simulation.metrics, now)
 
-    def _audit_power(self, ledger, now: float) -> None:
+    def _audit_power(self, ledger: Any, now: float) -> None:
         """Power non-negativity and conservation (totals never shrink)."""
         self.checks_run += 1
         per_host = ledger.per_host_totals()
@@ -473,7 +473,7 @@ class InvariantMonitor:
                 )
         self._last_power = totals
 
-    def _audit_metrics(self, metrics, now: float) -> None:
+    def _audit_metrics(self, metrics: Any, now: float) -> None:
         """Outcome counters must sum to the request count."""
         self.checks_run += 1
         total = sum(metrics.outcomes.values())
@@ -491,7 +491,7 @@ class InvariantMonitor:
                 sim_time=now,
             )
 
-    def finalize(self, simulation) -> None:
+    def finalize(self, simulation: Any) -> None:
         """End-of-run audit plus message-conservation accounting."""
         self.audit(simulation)
         self.checks_run += 1

@@ -195,6 +195,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the partial sweep when runs fail instead of aborting",
     )
 
+    lint_parser = commands.add_parser(
+        "lint",
+        help="simlint: static determinism / kernel / config-contract checks",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="report format on stdout (default text)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: simlint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather the current findings",
+    )
+    lint_parser.add_argument(
+        "--json-report",
+        metavar="FILE",
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     check_parser = commands.add_parser(
         "check", help="golden-trace fixtures and invariant tooling"
     )
@@ -270,6 +316,39 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint_command(args: argparse.Namespace) -> int:
+    """Handler of the ``lint`` subcommand."""
+    # Imported lazily: the analysis package is not needed by simulations.
+    from repro.analysis.runner import (
+        DEFAULT_BASELINE,
+        render_rule_catalogue,
+        run_lint,
+    )
+
+    if args.rules:
+        print(render_rule_catalogue())
+        return 0
+    if args.no_baseline:
+        baseline: Optional[Path] = None
+    elif args.baseline is not None:
+        baseline = Path(args.baseline)
+    else:
+        baseline = DEFAULT_BASELINE
+    if args.update_baseline and baseline is None:
+        print(
+            "repro lint: error: --update-baseline conflicts with --no-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    return run_lint(
+        [Path(p) for p in args.paths],
+        baseline_path=baseline,
+        update_baseline=args.update_baseline,
+        output_format=args.output_format,
+        json_report=Path(args.json_report) if args.json_report else None,
+    )
+
+
 def _run_check_command(args: argparse.Namespace) -> int:
     """Handler of the ``check`` subcommand."""
     # Imported lazily: golden pulls in the experiments layer.
@@ -335,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep_command(args)
+    if args.command == "lint":
+        return _run_lint_command(args)
     if args.command == "check":
         return _run_check_command(args)
     return 2  # unreachable: argparse enforces the choices

@@ -139,12 +139,53 @@ class SimulationConfig:
     trace_requests: bool = False  # keep per-request traces (percentiles)
 
     def __post_init__(self):
+        if not isinstance(self.scheme, CachingScheme):
+            raise ValueError("scheme must be a CachingScheme")
         if self.n_clients < 1:
             raise ValueError("n_clients must be >= 1")
+        if self.n_data < 1:
+            raise ValueError("n_data must be >= 1")
+        if self.data_size < 1:
+            raise ValueError("data_size must be >= 1 byte")
         if self.cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         if not 1 <= self.access_range <= self.n_data:
             raise ValueError("access_range must be in [1, n_data]")
+        if self.theta < 0:
+            raise ValueError("theta must be >= 0")
+        if self.data_update_rate < 0:
+            raise ValueError("data_update_rate must be >= 0")
+        if self.area_width <= 0 or self.area_height <= 0:
+            raise ValueError("area dimensions must be positive")
+        if not 0 < self.v_min <= self.v_max:
+            raise ValueError("speeds must satisfy 0 < v_min <= v_max")
+        if self.distance_threshold <= 0:
+            raise ValueError("distance_threshold must be positive")
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if self.explicit_update_period <= 0:
+            raise ValueError("explicit_update_period must be positive")
+        if self.signature_bits < 1:
+            raise ValueError("signature_bits must be >= 1")
+        if self.signature_hashes < 1:
+            raise ValueError("signature_hashes must be >= 1")
+        if self.counter_bits < 1:
+            raise ValueError("counter_bits must be >= 1")
+        if self.recollect_batch < 1:
+            raise ValueError("recollect_batch must be >= 1")
+        if self.beacon_miss_limit < 1:
+            raise ValueError("beacon_miss_limit must be >= 1")
+        if self.examine_interval <= 0:
+            raise ValueError("examine_interval must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+        # warmup_max_time caps the wait-for-full-caches phase; warmup_min_time
+        # is an independent floor on total warm-up and may legally exceed it
+        # (Fig. 4/7 sweeps stretch the settling window past the cache cap).
+        if self.warmup_min_time < 0 or self.warmup_max_time < 0:
+            raise ValueError("warmup times must be >= 0")
+        if self.max_sim_time <= max(self.warmup_min_time, self.warmup_max_time):
+            raise ValueError("max_sim_time must exceed the warm-up window")
         if self.hop_dist < 1:
             raise ValueError("hop_dist must be >= 1")
         if not 0.0 <= self.p_disc <= 1.0:

@@ -24,6 +24,7 @@ from repro.delivery.power import ListeningPower
 from repro.delivery.schedule import BroadcastSchedule
 from repro.net.channel import ServerChannel
 from repro.sim.kernel import Environment
+from repro.sim.random import RandomStreams
 from repro.sim.stats import WelfordAccumulator
 
 __all__ = [
@@ -76,11 +77,17 @@ class _DeliveryBase:
         self.n_clients = int(n_clients)
         self.n_data = int(n_data)
         self.think_time_mean = float(think_time_mean)
-        rng = np.random.default_rng(seed)
+        streams = RandomStreams(seed)
         self.patterns = build_access_patterns(
-            rng, list(range(n_clients)), n_data, access_range, theta
+            streams.stream("delivery-workload"),
+            list(range(n_clients)),
+            n_data,
+            access_range,
+            theta,
         )
-        self.rngs = [np.random.default_rng(seed + 1 + i) for i in range(n_clients)]
+        self.rngs = [
+            streams.stream(f"delivery-client-{i}") for i in range(n_clients)
+        ]
         self.latency = WelfordAccumulator()
         self.energy = WelfordAccumulator()
         self.completed = [0] * n_clients
@@ -269,9 +276,13 @@ def compare_delivery_models(
     # Pull: every request goes to the server over the full-rate downlink.
     env = Environment()
     channel = ServerChannel(env, bandwidth_bps, 200_000.0)
-    rng = np.random.default_rng(seed)
+    streams = RandomStreams(seed)
     patterns = build_access_patterns(
-        rng, list(range(n_clients)), n_data, access_range, theta
+        streams.stream("delivery-workload"),
+        list(range(n_clients)),
+        n_data,
+        access_range,
+        theta,
     )
     latency = WelfordAccumulator()
     energy = WelfordAccumulator()
@@ -279,7 +290,7 @@ def compare_delivery_models(
 
     def puller(index):
         pattern = patterns[index]
-        client_rng = np.random.default_rng(seed + 1 + index)
+        client_rng = streams.stream(f"delivery-client-{index}")
         while True:
             yield env.timeout(client_rng.exponential(1.0))
             pattern.next_item()

@@ -77,7 +77,7 @@ class MultiDiskSchedule:
             chunked.append(chunks)
         slots: List[int] = []
         for minor in range(cycles):
-            for disk_index, chunks in enumerate(chunked):
+            for chunks in chunked:
                 slots.extend(chunks[minor % len(chunks)])
         self.slots = slots
 

@@ -76,7 +76,7 @@ class ResultCache:
         self,
         directory: Union[str, Path],
         code_version: Optional[str] = None,
-    ):
+    ) -> None:
         self.directory = Path(directory)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)

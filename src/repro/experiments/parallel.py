@@ -77,7 +77,7 @@ class RunFailure:
 class RunCrashed(RuntimeError):
     """A spec exhausted its attempts and salvage mode is off."""
 
-    def __init__(self, failures: Sequence[RunFailure]):
+    def __init__(self, failures: Sequence[RunFailure]) -> None:
         self.failures = list(failures)
         lines = ", ".join(
             f"{f.label or f'spec {f.index}'} ({f.error})" for f in self.failures
@@ -182,7 +182,7 @@ def execute_runs(
             note(index)
             try:
                 results[index] = runner(specs[index].config)
-            except Exception as exc:  # noqa: BLE001 — quarantine, don't die
+            except Exception as exc:  # quarantine any failure, don't die
                 settle(index, repr(exc), queue)
     else:
         queue = list(pending)
@@ -214,7 +214,7 @@ def execute_runs(
                     # and refund the rest.
                     pool_dead = True
                     settle(index, "worker process crashed", queue)
-                except Exception as exc:  # noqa: BLE001
+                except Exception as exc:  # quarantine any failure
                     settle(index, repr(exc), queue)
             if not pool_dead:
                 pool.shutdown()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from scipy import stats as scipy_stats
 
@@ -85,7 +85,7 @@ def run_replications(
     schemes: Sequence[CachingScheme] = (CachingScheme.GC,),
     confidence: float = 0.95,
     jobs: int = 1,
-    cache: ResultCache = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, ReplicationSummary]:
     """Run ``replications`` independent seeds per scheme and summarise.
 
@@ -109,7 +109,13 @@ def run_replications(
     results = execute_runs(specs, jobs=jobs, cache=cache)
     outcome: Dict[str, ReplicationSummary] = {}
     for position, scheme in enumerate(schemes):
-        runs = results[position * replications : (position + 1) * replications]
+        # execute_runs without salvage raises rather than return holes, so
+        # the filter is a no-op that narrows Optional[Results] to Results.
+        runs = [
+            run
+            for run in results[position * replications : (position + 1) * replications]
+            if run is not None
+        ]
         metrics = {
             metric: summarise(
                 [getattr(run, metric) for run in runs], confidence

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.metrics import Results
@@ -90,7 +90,7 @@ def active_profile() -> str:
     return name
 
 
-def base_config(**overrides) -> SimulationConfig:
+def base_config(**overrides: Any) -> SimulationConfig:
     """The active profile's configuration with optional overrides."""
     settings = dict(_PROFILES[active_profile()])
     settings.update(overrides)
@@ -151,7 +151,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
-    **execute_kwargs,
+    **execute_kwargs: Any,
 ) -> SweepTable:
     """Run ``config_for(value)`` under every scheme for every value.
 

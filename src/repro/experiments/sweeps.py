@@ -7,10 +7,16 @@ rows are the LC / CC / GC series of the corresponding figure's four panels
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.runner import active_profile, base_config, run_sweep
+from repro.experiments.runner import (
+    SweepTable,
+    active_profile,
+    base_config,
+    run_sweep,
+)
+from repro.core.config import SimulationConfig
 from repro.net.faults import FaultPlan, LinkFaults
 
 __all__ = [
@@ -34,12 +40,12 @@ Progress = Optional[Callable[[str], None]]
 
 
 def sweep_cache_size(
-    values: Sequence[int] = None,
+    values: Optional[Sequence[int]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 2: effect of cache size (50..250 data items).
 
     The quick profile shrinks the x-axis with its access range so caches
@@ -65,12 +71,12 @@ def sweep_cache_size(
 
 
 def sweep_skewness(
-    values: Sequence[float] = None,
+    values: Optional[Sequence[float]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 3: effect of the Zipf skewness parameter θ (0..1)."""
     values = list(values or (0.0, 0.25, 0.5, 0.75, 1.0))
     return run_sweep(
@@ -86,12 +92,12 @@ def sweep_skewness(
 
 
 def sweep_access_range(
-    values: Sequence[int] = None,
+    values: Optional[Sequence[int]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 4: effect of the access range (500..10,000 data items)."""
     if values is None:
         values = (
@@ -101,7 +107,7 @@ def sweep_access_range(
         )
     values = list(values)
 
-    def config_for(value):
+    def config_for(value: int) -> SimulationConfig:
         # Wider ranges dilute the sampled access pattern (Σp² shrinks), so
         # TCG discovery needs a longer settling window before recording.
         settle = min(300.0 + value / 20.0, 800.0)
@@ -120,12 +126,12 @@ def sweep_access_range(
 
 
 def sweep_group_size(
-    values: Sequence[int] = None,
+    values: Optional[Sequence[int]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 5: effect of the motion group size (1..20 MHs)."""
     values = list(values or (1, 5, 10, 15, 20))
     return run_sweep(
@@ -141,12 +147,12 @@ def sweep_group_size(
 
 
 def sweep_update_rate(
-    values: Sequence[float] = None,
+    values: Optional[Sequence[float]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 6: effect of the data item update rate (0..10 items/s).
 
     The quick profile's database is 5x smaller, so the same per-item churn
@@ -173,12 +179,12 @@ def sweep_update_rate(
 
 
 def sweep_n_clients(
-    values: Sequence[int] = None,
+    values: Optional[Sequence[int]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 7: system scalability against the number of MHs.
 
     The sweep range is profile-dependent so the downlink saturation point
@@ -194,7 +200,7 @@ def sweep_n_clients(
             values = (50, 100, 200, 300, 400)
     values = list(values)
 
-    def config_for(value):
+    def config_for(value: int) -> SimulationConfig:
         # Past the downlink knee the closed loop slows every client, so the
         # MSS observes patterns more slowly; stretch the settling window.
         settle = max(300.0, 2.5 * value)
@@ -213,12 +219,12 @@ def sweep_n_clients(
 
 
 def sweep_link_loss(
-    values: Sequence[float] = None,
+    values: Optional[Sequence[float]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 8-style robustness sweep: wireless message loss (0..30%).
 
     Not a figure of the paper — its channel model is ideal — but the same
@@ -232,7 +238,7 @@ def sweep_link_loss(
     """
     values = list(values if values is not None else (0.0, 0.05, 0.1, 0.2, 0.3))
 
-    def config_for(value):
+    def config_for(value: float) -> SimulationConfig:
         plan = FaultPlan(
             p2p=LinkFaults(
                 loss=value,
@@ -263,12 +269,12 @@ def sweep_link_loss(
 
 
 def sweep_disconnection(
-    values: Sequence[float] = None,
+    values: Optional[Sequence[float]] = None,
     progress: Progress = None,
     jobs: Optional[int] = 1,
-    cache: ResultCache = None,
-    **execute_kwargs,
-):
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
     """Fig. 8: effect of the client disconnection probability (0..0.3)."""
     values = list(values or (0.0, 0.05, 0.1, 0.2, 0.3))
     return run_sweep(

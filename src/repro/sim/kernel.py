@@ -42,7 +42,7 @@ class Interrupt(Exception):
     forced offline mid-wait).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -63,7 +63,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_exception", "_state", "_defused")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -146,7 +146,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
@@ -165,7 +165,7 @@ class Process(Event):
 
     __slots__ = ("generator", "_waiting_on")
 
-    def __init__(self, env: "Environment", generator: Generator):
+    def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError("Process requires a generator")
@@ -211,7 +211,7 @@ class Process(Event):
                 if self._state == _PENDING:
                     self.succeed(stop.value)
                 return
-            except BaseException as exc:  # noqa: BLE001 - must fail the process
+            except BaseException as exc:  # must fail the process, whatever died
                 if self._state == _PENDING:
                     self.fail(exc)
                     return
@@ -235,7 +235,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_fired_count")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
         self._fired_count = 0
@@ -306,7 +306,7 @@ class Environment:
     a single attribute test per event and behaves bit-identically.
     """
 
-    def __init__(self, initial_time: float = 0.0, monitor=None):
+    def __init__(self, initial_time: float = 0.0, monitor: Any = None) -> None:
         self._now = float(initial_time)
         self._heap: List[tuple] = []
         self._seq = 0

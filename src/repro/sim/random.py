@@ -19,7 +19,7 @@ __all__ = ["RandomStreams"]
 class RandomStreams:
     """A factory of independent, reproducible numpy Generators."""
 
-    def __init__(self, master_seed: int):
+    def __init__(self, master_seed: int) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, np.random.Generator] = {}
 

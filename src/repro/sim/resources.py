@@ -8,7 +8,7 @@ queue (the MSS channels and the per-host radio are Resources of capacity 1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Deque, Iterator, List
 
 from repro.sim.kernel import Environment, Event, SimulationError
 
@@ -28,7 +28,7 @@ class Resource:
             resource.release(grant)
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.env = env
@@ -72,7 +72,7 @@ class Resource:
             self._users.append(waiter)
             waiter.succeed()
 
-    def acquire(self, hold_time: float):
+    def acquire(self, hold_time: float) -> Iterator[Event]:
         """Process helper: request, hold for ``hold_time``, release.
 
         Intended to be delegated to with ``yield from``::
@@ -90,7 +90,7 @@ class Resource:
 class Store:
     """An unbounded FIFO buffer of items with blocking ``get``."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment) -> None:
         self.env = env
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()

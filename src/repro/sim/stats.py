@@ -21,7 +21,7 @@ class WelfordAccumulator:
 
     __slots__ = ("count", "mean", "_m2", "min", "max")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self.mean = 0.0
         self._m2 = 0.0
@@ -85,7 +85,7 @@ class TimeWeightedAverage:
 
     __slots__ = ("_last_time", "_last_value", "_area", "_start")
 
-    def __init__(self, start_time: float = 0.0, initial_value: float = 0.0):
+    def __init__(self, start_time: float = 0.0, initial_value: float = 0.0) -> None:
         self._start = float(start_time)
         self._last_time = float(start_time)
         self._last_value = float(initial_value)

@@ -1,0 +1,3 @@
+"""Unparseable fixture (simlint test fixture, never imported)."""
+
+def truncated(:

@@ -1,0 +1,14 @@
+"""A module simlint must pass untouched (fixture, never imported)."""
+
+from typing import List
+
+
+def deterministic_order(hosts: List[int]) -> List[int]:
+    pending = sorted(set(hosts))
+    return [host for host in pending]
+
+
+def elapsed(env):
+    started = env.now
+    yield env.timeout(1.0)
+    return env.now - started

@@ -1,0 +1,20 @@
+"""Seeded config-contract violations (simlint test fixture, never imported)."""
+
+from repro.core.config import SimulationConfig
+
+TINY_PROFILE = {
+    "n_clients": 4,
+    "cache_sizes": 8,  # MARK:unknown-config-field-profile
+}
+
+
+def build_config():
+    return SimulationConfig(n_client=4)  # MARK:unknown-config-field-kwarg
+
+
+def tweak_config(config):
+    return config.replace(chache_size=16)  # MARK:unknown-config-field-replace
+
+
+def read_series(table):
+    return table.series("GC", "gch_ratioo")  # MARK:unknown-results-field

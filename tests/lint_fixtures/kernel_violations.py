@@ -1,0 +1,25 @@
+"""Seeded DES-kernel-rule violations (simlint test fixture, never imported)."""
+
+import time
+
+
+def bad_yield_process(env):
+    yield env.timeout(1.0)
+    yield 42  # MARK:kernel-yield-non-event
+
+
+def blocking_process(env):
+    yield env.timeout(1.0)
+    time.sleep(0.5)  # MARK:kernel-blocking-call
+
+
+def stale_now_process(env):
+    started = env.now
+    yield env.timeout(5.0)
+    yield env.timeout(started)  # MARK:kernel-stale-now
+
+
+def elapsed_time_is_fine(env):
+    started = env.now
+    yield env.timeout(5.0)
+    return env.now - started

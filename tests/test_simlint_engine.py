@@ -1,0 +1,207 @@
+"""Engine-level simlint behaviour: sources, pragmas, baseline, runner."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import (
+    META_RULES,
+    LintViolation,
+    ModuleSource,
+    all_rules,
+    known_rule_ids,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.runner import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def lint_fixture(name):
+    module = ModuleSource.from_path(FIXTURES / name)
+    return lint_source(module, all_rules())
+
+
+def marker_line(name, marker):
+    """1-indexed line of a MARK comment in a fixture file."""
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        if marker in line:
+            return number
+    raise AssertionError(f"marker {marker!r} not found in {name}")
+
+
+def test_registry_covers_all_rule_families():
+    ids = {rule.id for rule in all_rules()}
+    assert {
+        "no-stdlib-random",
+        "no-direct-rng",
+        "no-wall-clock",
+        "set-iteration-order",
+        "kernel-yield-non-event",
+        "kernel-blocking-call",
+        "kernel-stale-now",
+        "unknown-config-field",
+        "unknown-results-field",
+        "config-field-unvalidated",
+    } <= ids
+    assert set(META_RULES) <= known_rule_ids()
+
+
+def test_qualified_name_resolves_import_aliases():
+    module = ModuleSource(
+        Path("x.py"),
+        "import numpy as np\nfrom os import path as osp\nnp.random.default_rng\nosp.join\n",
+    )
+    tree = module.tree
+    rng_expr = tree.body[2].value
+    join_expr = tree.body[3].value
+    assert module.qualified_name(rng_expr) == "numpy.random.default_rng"
+    assert module.qualified_name(join_expr) == "os.path.join"
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_fixture("clean_module.py") == []
+
+
+def test_parse_error_is_reported_and_stops_other_rules():
+    findings = lint_fixture("broken_syntax.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "parse-error"
+
+
+def test_valid_pragma_suppresses_and_is_not_flagged():
+    findings = lint_fixture("pragma_cases.py")
+    rules = [f.rule for f in findings]
+    # The valid suppression leaves no no-wall-clock finding at its line...
+    suppressed_line = marker_line("pragma_cases.py", "valid suppression")
+    assert not any(
+        f.line == suppressed_line and f.rule == "no-wall-clock" for f in findings
+    )
+    # ...and the three defective pragmas each surface as a meta finding.
+    assert rules.count("pragma-missing-reason") == 1
+    assert rules.count("pragma-unknown-rule") == 1
+    assert rules.count("pragma-unused") == 1
+
+
+def test_pragma_meta_findings_carry_the_pragma_line():
+    findings = lint_fixture("pragma_cases.py")
+    by_rule = {f.rule: f.line for f in findings}
+    assert by_rule["pragma-missing-reason"] == marker_line(
+        "pragma_cases.py", "MARK:pragma-missing-reason"
+    )
+    assert by_rule["pragma-unknown-rule"] == marker_line(
+        "pragma_cases.py", "MARK:pragma-unknown-rule"
+    )
+    assert by_rule["pragma-unused"] == marker_line(
+        "pragma_cases.py", "MARK:pragma-unused"
+    )
+
+
+def test_pragma_in_string_literal_is_inert():
+    module = ModuleSource(
+        Path("x.py"),
+        'HINT = "# simlint: allow[no-wall-clock] reason=doc example"\n',
+    )
+    assert lint_source(module, all_rules()) == []
+
+
+def test_violation_as_dict_and_location():
+    violation = LintViolation(
+        rule="no-wall-clock", path="a.py", line=3, column=7, message="m", hint="h"
+    )
+    assert violation.location == "a.py:3:7"
+    payload = violation.as_dict()
+    assert payload["rule"] == "no-wall-clock"
+    assert payload["line"] == 3
+
+
+def test_baseline_split_new_grandfathered_stale(tmp_path):
+    old = LintViolation("no-wall-clock", "a.py", 3, 1, "old finding")
+    gone = LintViolation("no-wall-clock", "a.py", 9, 1, "fixed finding")
+    baseline = Baseline.from_violations([(old, "t = time.time()"), (gone, "x()")])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+
+    fresh = LintViolation("no-wall-clock", "a.py", 30, 1, "new finding")
+    moved_old = LintViolation("no-wall-clock", "a.py", 5, 1, "old finding")
+    new, grandfathered, stale = loaded.split(
+        [(moved_old, "t = time.time()"), (fresh, "u = time.time()  # other")]
+    )
+    # The old finding moved lines but keeps its content fingerprint.
+    assert [v.line for v in grandfathered] == [5]
+    assert [v.line for v in new] == [30]
+    assert len(stale) == 1  # the fixed finding's entry is reported stale
+
+
+def test_baseline_fingerprint_ignores_line_numbers():
+    a = LintViolation("r", "p.py", 10, 1, "m")
+    b = LintViolation("r", "p.py", 99, 5, "different message")
+    assert fingerprint(a, "x = 1") == fingerprint(b, "  x = 1  ")
+
+
+def test_baseline_rejects_unknown_format(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"format": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_run_lint_exit_codes_and_json_report(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nT = time.time()\n")
+    report_path = tmp_path / "report.json"
+    stream = io.StringIO()
+    code = run_lint(
+        [bad], baseline_path=None, json_report=report_path, stream=stream
+    )
+    assert code == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["new_count"] == 1
+    assert payload["violations"][0]["rule"] == "no-wall-clock"
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    assert run_lint([clean], baseline_path=None, stream=io.StringIO()) == 0
+
+
+def test_run_lint_update_baseline_then_clean(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nT = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert (
+        run_lint(
+            [bad],
+            baseline_path=baseline,
+            update_baseline=True,
+            stream=io.StringIO(),
+        )
+        == 0
+    )
+    # Grandfathered now: the same tree lints clean against the baseline.
+    assert run_lint([bad], baseline_path=baseline, stream=io.StringIO()) == 0
+    # A second, new violation still fails.
+    bad.write_text("import time\nT = time.time()\nU = time.monotonic()\n")
+    assert run_lint([bad], baseline_path=baseline, stream=io.StringIO()) == 1
+
+
+def test_update_baseline_never_grandfathers_meta_findings(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def nope(:\n")
+    baseline = tmp_path / "baseline.json"
+    code = run_lint(
+        [bad], baseline_path=baseline, update_baseline=True, stream=io.StringIO()
+    )
+    assert code == 1  # the meta finding was not swept under the rug
+    assert json.loads(baseline.read_text())["entries"] == []
+
+
+def test_lint_paths_walks_directories():
+    report = lint_paths([FIXTURES])
+    assert any(v.rule == "no-stdlib-random" for v in report.violations)
+    assert any(f.endswith("clean_module.py") for f in report.files)

@@ -1,0 +1,68 @@
+"""simlint applied to the shipped tree: clean modulo the committed baseline."""
+
+import io
+import shutil
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "simlint-baseline.json"
+
+
+def test_shipped_tree_is_clean_modulo_baseline():
+    stream = io.StringIO()
+    code = run_lint([SRC], baseline_path=BASELINE, stream=stream)
+    assert code == 0, f"simlint found new violations:\n{stream.getvalue()}"
+
+
+def test_committed_baseline_has_no_stale_entries():
+    stream = io.StringIO()
+    run_lint([SRC], baseline_path=BASELINE, stream=stream)
+    assert "stale" not in stream.getvalue()
+
+
+def test_injected_violation_fails_with_rule_and_line(tmp_path):
+    # Copy a real source file and inject a bare generator construction.
+    victim = tmp_path / "models_copy.py"
+    shutil.copyfile(SRC / "delivery" / "models.py", victim)
+    lines = victim.read_text(encoding="utf-8").splitlines()
+    lines.append("INJECTED = __import__('numpy').random.default_rng(1)")
+    # Resolves through an import alias too, like real offending code would.
+    lines.insert(0, "import numpy as np")
+    lines.append("ALIASED = np.random.default_rng(2)")
+    victim.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    injected_line = len(lines)
+
+    stream = io.StringIO()
+    code = run_lint([victim], baseline_path=BASELINE, stream=stream)
+    output = stream.getvalue()
+    assert code == 1
+    assert "no-direct-rng" in output
+    assert f":{injected_line}:" in output
+
+
+def test_cli_lint_subcommand_paths(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nT = time.time()\n")
+    assert main(["lint", str(bad), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "no-wall-clock" in out
+
+    assert main(["lint", str(bad), "--no-baseline", "--format", "json"]) == 1
+    assert '"no-wall-clock"' in capsys.readouterr().out
+
+
+def test_cli_lint_rules_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "no-direct-rng" in out
+    assert "meta rules" in out
+
+
+def test_cli_lint_update_baseline_conflict(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("X = 1\n")
+    assert main(["lint", str(bad), "--no-baseline", "--update-baseline"]) == 2
