@@ -19,8 +19,14 @@ Quick start::
 
 from repro.check import InvariantMonitor, InvariantViolation
 from repro.core.config import CachingScheme, SimulationConfig
-from repro.core.metrics import Metrics, RequestOutcome, Results
+from repro.core.metrics import (
+    Metrics,
+    RequestOutcome,
+    Results,
+    TracingDisabledError,
+)
 from repro.core.simulation import Simulation, compare_schemes, run_simulation
+from repro.obs import Observer, TimeSeriesSampler, Tracer, run_traced
 
 __version__ = "1.0.0"
 
@@ -29,11 +35,16 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "Metrics",
+    "Observer",
     "RequestOutcome",
     "Results",
     "Simulation",
     "SimulationConfig",
+    "TimeSeriesSampler",
+    "Tracer",
+    "TracingDisabledError",
     "compare_schemes",
     "run_simulation",
+    "run_traced",
     "__version__",
 ]

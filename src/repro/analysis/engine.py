@@ -223,7 +223,12 @@ def rule_registry() -> Dict[str, Type[LintRule]]:
     """The registered AST rules by id (imports the rule modules)."""
     # Imported here, not at module top, to avoid a cycle: rule modules
     # import this module for the base class and the register decorator.
-    from repro.analysis import rules_config, rules_determinism, rules_kernel  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_config,
+        rules_determinism,
+        rules_kernel,
+        rules_obs,
+    )
 
     return dict(_REGISTRY)
 

@@ -1,0 +1,96 @@
+"""Observability rules: tracer/sampler APIs consume simulated time only.
+
+The span tracer and the time-series sampler (:mod:`repro.obs`) timestamp
+everything with kernel time — the tracer reads its bound ``env.now``, the
+sampler runs as a kernel process.  A call site that feeds them a host
+clock (``time.time()`` and friends) or any hand-rolled timestamp other
+than ``env.now`` would produce timelines that cannot be reconciled with
+the simulated run:
+
+* ``obs-raw-time`` — a wall-clock call, or a timestamp keyword whose
+  value is not ``.now``, passed into a tracer/sampler method.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.engine import LintRule, LintViolation, ModuleSource, register
+from repro.analysis.rules_determinism import _WALL_CLOCK_CALLS
+
+__all__ = ["ObsRawTimeRule"]
+
+#: Keyword names that smell like a caller-supplied timestamp.
+_TIME_KEYWORDS = frozenset(
+    {"at", "now", "sim_time", "t", "time", "timestamp", "ts", "when"}
+)
+
+
+def _receiver_parts(node: ast.AST) -> List[str]:
+    """The dotted-name parts of an attribute chain (lowercased)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr.lower())
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id.lower())
+    return parts
+
+
+def _is_observer_call(call: ast.Call) -> bool:
+    """Whether the call's receiver chain names a tracer or sampler."""
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    receiver = _receiver_parts(call.func.value)
+    return any("tracer" in part or "sampler" in part for part in receiver)
+
+
+def _is_sim_time(node: ast.AST) -> bool:
+    """Whether an expression reads simulated time (``<env>.now`` / ``now``)."""
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    return isinstance(node, ast.Name) and node.id == "now"
+
+
+@register
+class ObsRawTimeRule(LintRule):
+    """Tracer/sampler timestamps come from the kernel, never the host."""
+
+    id = "obs-raw-time"
+    description = (
+        "tracer/sampler APIs timestamp with kernel time; feeding them a "
+        "wall-clock read or a hand-rolled timestamp produces timelines "
+        "that cannot be reconciled with the simulated run"
+    )
+    hint = (
+        "drop the timestamp (the bound tracer reads env.now itself) or "
+        "pass env.now explicitly"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_observer_call(node):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Call):
+                        name = module.qualified_name(inner.func)
+                        if name in _WALL_CLOCK_CALLS:
+                            yield self.violation(
+                                module,
+                                inner,
+                                f"wall-clock call {name}() passed into a "
+                                "tracer/sampler API",
+                            )
+            for keyword in node.keywords:
+                if keyword.arg in _TIME_KEYWORDS and not _is_sim_time(
+                    keyword.value
+                ):
+                    yield self.violation(
+                        module,
+                        keyword.value,
+                        f"timestamp keyword {keyword.arg}= fed a value "
+                        "other than env.now",
+                    )

@@ -1,21 +1,26 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro run      --scheme GC --clients 20 --seed 7 [--check]
     python -m repro compare  --clients 20 --cache-size 30
     python -m repro figure   fig2 --profile quick
     python -m repro sweep    fig2 --jobs 4 --cache results/cache --profile
+    python -m repro trace    summarize results/traces
     python -m repro check    golden record|verify [--fixtures DIR]
 
 ``run`` simulates one configuration and prints the paper's metrics
 (``--check`` attaches the runtime invariant oracle and prints its audit
-summary); ``compare`` runs LC / CC / GC paired on the same seed;
-``figure`` regenerates one of the paper's figures as a text table (see
-DESIGN.md for the figure index); ``sweep`` is ``figure`` plus the
-execution layer — parallel workers (``--jobs``), the persistent result
-cache (``--cache``) and per-run profiling output (``--profile``);
-``check golden`` records or replays the committed golden-trace fixtures.
+summary; ``--trace-out DIR`` records a span timeline and exports the
+JSONL / Chrome-trace / CSV bundle — see docs/OBSERVABILITY.md);
+``compare`` runs LC / CC / GC paired on the same seed; ``figure``
+regenerates one of the paper's figures as a text table (see DESIGN.md
+for the figure index); ``sweep`` is ``figure`` plus the execution layer
+— parallel workers (``--jobs``), the persistent result cache
+(``--cache``), per-run profiling output (``--profile``) and per-run
+trace bundles (``--trace-out DIR``); ``trace summarize`` folds recorded
+timelines into a per-phase latency breakdown; ``check golden`` records
+or replays the committed golden-trace fixtures.
 """
 
 from __future__ import annotations
@@ -127,6 +132,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the runtime invariant oracle and print its audit summary",
     )
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        help="record a span timeline and export trace.jsonl, "
+        "trace.chrome.json and series.csv into DIR",
+    )
+    run_parser.add_argument(
+        "--sample-period",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="time-series sampler period in simulated seconds (default 5)",
+    )
     _add_config_arguments(run_parser)
 
     compare_parser = commands.add_parser(
@@ -193,6 +211,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--salvage",
         action="store_true",
         help="keep the partial sweep when runs fail instead of aborting",
+    )
+    sweep_parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        help="record one trace bundle per run under DIR and print the "
+        "per-sweep phase-latency breakdown",
+    )
+    sweep_parser.add_argument(
+        "--sample-period",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="time-series sampler period for traced runs (default 5)",
+    )
+
+    trace_parser = commands.add_parser(
+        "trace", help="inspect recorded trace bundles"
+    )
+    trace_commands = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    summarize_parser = trace_commands.add_parser(
+        "summarize",
+        help="per-phase latency breakdown of one or many trace bundles",
+    )
+    summarize_parser.add_argument(
+        "path",
+        help="a trace.jsonl file, or a directory searched recursively",
     )
 
     lint_parser = commands.add_parser(
@@ -280,6 +326,19 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     sweep_name, title = FIGURES[args.figure]
     sweep = getattr(sweeps, sweep_name)
     failures = []
+    execute_kwargs = {}
+    if args.trace_out:
+        from repro.obs import traced_runner
+
+        if cache is not None:
+            print(
+                "repro sweep: warning: cached runs are not re-simulated and "
+                "leave no trace bundle",
+                file=sys.stderr,
+            )
+        execute_kwargs["runner"] = traced_runner(
+            Path(args.trace_out), sample_period=args.sample_period
+        )
     try:
         table = sweep(
             progress=lambda line: print(f"  {line}", file=sys.stderr),
@@ -289,6 +348,7 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             attempts=args.attempts,
             salvage=args.salvage,
             failures_out=failures,
+            **execute_kwargs,
         )
     except RunCrashed as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
@@ -313,6 +373,30 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     if args.csv:
         sweep_to_csv(table, args.csv)
         print(f"wrote {args.csv}", file=sys.stderr)
+    if args.trace_out:
+        from repro.obs import aggregate_sweep
+
+        try:
+            print(aggregate_sweep(Path(args.trace_out)))
+        except FileNotFoundError:
+            print(
+                f"repro sweep: warning: no trace bundles under "
+                f"{args.trace_out} (all runs cached?)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """Handler of the ``trace`` subcommand."""
+    # Imported lazily: the observability layer is not needed by simulations.
+    from repro.obs import summarize_path
+
+    try:
+        print(summarize_path(Path(args.path)))
+    except FileNotFoundError as error:
+        print(f"repro trace: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -390,7 +474,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.check import InvariantMonitor
 
             monitor = InvariantMonitor()
-        _print_results(run_simulation(config, monitor=monitor))
+        if args.trace_out:
+            from repro.obs import (
+                Observer,
+                export_bundle,
+                format_breakdown,
+                phase_breakdown,
+            )
+
+            observer = Observer(sample_period=args.sample_period)
+            results = run_simulation(config, monitor=monitor, observer=observer)
+            _print_results(results)
+            paths = export_bundle(
+                observer, Path(args.trace_out), config=config, results=results
+            )
+            for kind in sorted(paths):
+                print(f"wrote {paths[kind]}", file=sys.stderr)
+            print(
+                format_breakdown(
+                    phase_breakdown(observer.tracer.spans()),
+                    title="phase latency",
+                )
+            )
+        else:
+            _print_results(run_simulation(config, monitor=monitor))
         if monitor is not None:
             print(monitor.report().summary())
         return 0
@@ -416,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep_command(args)
     if args.command == "lint":
         return _run_lint_command(args)
+    if args.command == "trace":
+        return _run_trace_command(args)
     if args.command == "check":
         return _run_check_command(args)
     return 2  # unreachable: argparse enforces the choices

@@ -54,6 +54,7 @@ class _SearchState:
     data_event: object = None
     replies: List[dict] = field(default_factory=list)
     finished: bool = False
+    span: int = -1  # the search's tracer span (-1 when untraced)
 
 
 class MobileHost:
@@ -74,6 +75,7 @@ class MobileHost:
         signature_scheme: Optional[SignatureScheme] = None,
         ndp: Optional[NeighborDiscovery] = None,
         monitor=None,
+        tracer=None,
     ):
         self.index = index
         self.env = env
@@ -88,6 +90,11 @@ class MobileHost:
         self.ndp = ndp
         #: Optional invariant oracle (duck-typed; see repro.check.monitor).
         self._monitor = monitor
+        #: Optional span tracer (see repro.obs.tracer); every call site is
+        #: behind an ``is None`` guard so untraced runs are bit-identical.
+        self._tracer = tracer
+        self._req_seq = 0
+        self._req_span = -1
         self.cache = LRUCache(config.cache_size)
         self.connected = True
         self.requests_completed = 0
@@ -162,20 +169,31 @@ class MobileHost:
     def access_item(self, item: int):
         """Resolve one query: local cache, peers, then the MSS."""
         start = self.env.now
+        tracer = self._tracer
+        if tracer is not None:
+            self._req_seq += 1
+            self._req_span = tracer.begin(
+                "request", host=self.index, request=self._req_seq, item=item
+            )
         if not self.connected:
             # Crash-stop outage: the request cannot leave the host.
             self._record_failure(start)
             return
         entry = self.cache.get(item)
+        if tracer is not None:
+            local = tracer.begin(
+                "local", host=self.index, parent=self._req_span, item=item
+            )
+            if entry is None:
+                tracer.end(local, status="miss")
+            elif entry.is_valid(self.env.now):
+                tracer.end(local, status="hit")
+            else:
+                tracer.end(local, status="expired")
         if entry is not None:
             if entry.is_valid(self.env.now):
                 self._note_local_access(item, entry)
-                self.metrics.record_request(
-                    self.index,
-                    RequestOutcome.LOCAL_HIT,
-                    self.env.now - start,
-                    now=self.env.now,
-                )
+                self._record_outcome(RequestOutcome.LOCAL_HIT, start)
                 return
             yield from self._validate_with_server(item, entry, start)
             return
@@ -186,12 +204,8 @@ class MobileHost:
                 reply, from_tcg = result
                 self._admit_from_peer(reply, from_tcg)
                 self._remember_peer_access(item)
-                self.metrics.record_request(
-                    self.index,
-                    RequestOutcome.GLOBAL_HIT,
-                    self.env.now - start,
-                    from_tcg=from_tcg,
-                    now=self.env.now,
+                self._record_outcome(
+                    RequestOutcome.GLOBAL_HIT, start, from_tcg=from_tcg
                 )
                 return
 
@@ -201,13 +215,34 @@ class MobileHost:
             return
         yield from self._fetch_from_server(item, start)
 
-    def _record_failure(self, start: float) -> None:
+    def _record_outcome(
+        self, outcome: RequestOutcome, start: float, from_tcg: bool = False
+    ) -> None:
+        """Count the request's outcome and close its span (when traced).
+
+        The span's ``recorded`` flag snapshots ``metrics.recording`` at
+        this exact moment — the same gate ``record_request`` applies — so
+        the trace contract can reconcile span counts with the Results
+        counters across the warm-up boundary.
+        """
         self.metrics.record_request(
             self.index,
-            RequestOutcome.FAILURE,
+            outcome,
             self.env.now - start,
+            from_tcg=from_tcg,
             now=self.env.now,
         )
+        if self._tracer is not None:
+            self._tracer.end(
+                self._req_span,
+                status=outcome.name.lower(),
+                recorded=self.metrics.recording,
+                from_tcg=from_tcg,
+            )
+            self._req_span = -1
+
+    def _record_failure(self, start: float) -> None:
+        self._record_outcome(RequestOutcome.FAILURE, start)
 
     def _note_local_access(self, item: int, entry: CacheEntry) -> None:
         self.cache.touch(item, self.env.now)
@@ -231,6 +266,14 @@ class MobileHost:
             and not signatures.likely_cached_by_members(item)
         ):
             self.metrics.record_search(bypassed=True)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "search-bypassed",
+                    host=self.index,
+                    parent=self._req_span,
+                    item=item,
+                    recorded=self.metrics.recording,
+                )
             return None
         self.metrics.record_search(bypassed=False)
 
@@ -244,6 +287,16 @@ class MobileHost:
         state = _SearchState(
             item=item, started=self.env.now, reply_event=self.env.event()
         )
+        if self._tracer is not None:
+            # ``recorded_open`` mirrors record_search's gate; the close-side
+            # ``recorded`` flag is snapshotted separately in _finish_search.
+            state.span = self._tracer.begin(
+                "search",
+                host=self.index,
+                parent=self._req_span,
+                item=item,
+                recorded_open=self.metrics.recording,
+            )
         self._searches[sid] = state
         if self._monitor is not None:
             self._monitor.on_search_open(self.index, sid, self.env.now)
@@ -276,6 +329,14 @@ class MobileHost:
             # piggybacked signature update is not repeated (members that
             # received it already applied it).
             self.metrics.record_retry("search")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "search-retry",
+                    host=self.index,
+                    parent=state.span,
+                    attempt=attempt + 1,
+                    recorded=self.metrics.recording,
+                )
             retry = Message(
                 kind=MessageKind.REQUEST,
                 src=self.index,
@@ -319,10 +380,19 @@ class MobileHost:
         attempts = 1 + self.config.retrieve_retry_limit
         backoff = self.config.retry_backoff_base
         tried = set()
+        span = -1
+        if self._tracer is not None:
+            span = self._tracer.begin(
+                "retrieve", host=self.index, parent=state.span, peer=reply["peer"]
+            )
         for attempt in range(attempts):
             tried.add(reply["peer"])
             data = yield from self._retrieve(sid, state, reply)
             if data is not None:
+                if span >= 0:
+                    self._tracer.end(
+                        span, status="ok", peer=reply["peer"], attempts=attempt + 1
+                    )
                 return data, reply["peer"]
             if attempt + 1 >= attempts:
                 break
@@ -332,9 +402,19 @@ class MobileHost:
             if fallback is None:
                 break
             self.metrics.record_retry("retrieve")
+            if span >= 0:
+                self._tracer.instant(
+                    "retrieve-retry",
+                    host=self.index,
+                    parent=span,
+                    peer=fallback["peer"],
+                    recorded=self.metrics.recording,
+                )
             yield self.env.timeout(backoff)
             backoff *= 2.0
             reply = fallback
+        if span >= 0:
+            self._tracer.end(span, status="failed", attempts=attempt + 1)
         return None
 
     def _retrieve(self, sid, state: _SearchState, reply: dict):
@@ -368,6 +448,13 @@ class MobileHost:
             state.finished = True
         if self._monitor is not None:
             self._monitor.on_search_close(self.index, sid, outcome, self.env.now)
+        if self._tracer is not None and state is not None and state.span >= 0:
+            self._tracer.end(
+                state.span,
+                status=outcome,
+                replies=len(state.replies),
+                recorded=self.metrics.recording,
+            )
 
     def _broadcast(self, message: Message, signature_bytes: int = 0):
         yield from self.network.broadcast(
@@ -451,6 +538,13 @@ class MobileHost:
         if state is None or state.finished:
             return
         state.replies.append(message.payload)
+        if self._tracer is not None and state.span >= 0:
+            self._tracer.instant(
+                "search-reply",
+                host=self.index,
+                parent=state.span,
+                peer=message.payload["peer"],
+            )
         if not state.reply_event.triggered:
             state.reply_event.succeed(message.payload)
 
@@ -584,9 +678,22 @@ class MobileHost:
         the access fails outright when every attempt is lost.
         """
         backoff = self.config.retry_backoff_base
+        span = -1
+        if self._tracer is not None:
+            span = self._tracer.begin(
+                "mss", host=self.index, parent=self._req_span, item=item
+            )
         for attempt in range(1 + self.config.uplink_retry_limit):
             if attempt:
                 self.metrics.record_retry("uplink")
+                if span >= 0:
+                    self._tracer.instant(
+                        "uplink-retry",
+                        host=self.index,
+                        parent=span,
+                        attempt=attempt,
+                        recorded=self.metrics.recording,
+                    )
                 yield self.env.timeout(backoff)
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.server_request)
@@ -610,23 +717,35 @@ class MobileHost:
                     self.replacement.new_entry_ttl() if self.replacement else 0
                 ),
             )
+            if span >= 0:
+                self._tracer.end(span, status="ok", attempts=attempt + 1)
             self._admit(entry)
             self._apply_membership_changes(reply.added, reply.removed)
-            self.metrics.record_request(
-                self.index,
-                RequestOutcome.SERVER,
-                self.env.now - start,
-                now=self.env.now,
-            )
+            self._record_outcome(RequestOutcome.SERVER, start)
             return
+        if span >= 0:
+            self._tracer.end(span, status="failed")
         self._record_failure(start)
 
     def _validate_with_server(self, item: int, entry: CacheEntry, start: float):
         """Section IV-F: consult the MSS about an expired copy."""
         backoff = self.config.retry_backoff_base
+        span = -1
+        if self._tracer is not None:
+            span = self._tracer.begin(
+                "validate", host=self.index, parent=self._req_span, item=item
+            )
         for attempt in range(1 + self.config.uplink_retry_limit):
             if attempt:
                 self.metrics.record_retry("uplink")
+                if span >= 0:
+                    self._tracer.instant(
+                        "uplink-retry",
+                        host=self.index,
+                        parent=span,
+                        attempt=attempt,
+                        recorded=self.metrics.recording,
+                    )
                 yield self.env.timeout(backoff)
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.validate)
@@ -653,15 +772,22 @@ class MobileHost:
             self._note_local_access(item, entry)
             self._apply_membership_changes(reply.added, reply.removed)
             self.metrics.record_validation(refreshed=reply.refreshed)
+            if span >= 0:
+                self._tracer.end(
+                    span,
+                    status="refreshed" if reply.refreshed else "valid",
+                    attempts=attempt + 1,
+                    recorded=self.metrics.recording,
+                )
             outcome = (
                 RequestOutcome.SERVER
                 if reply.refreshed
                 else RequestOutcome.LOCAL_HIT
             )
-            self.metrics.record_request(
-                self.index, outcome, self.env.now - start, now=self.env.now
-            )
+            self._record_outcome(outcome, start)
             return
+        if span >= 0:
+            self._tracer.end(span, status="failed")
         self._record_failure(start)
 
     def _explicit_update_loop(self):
@@ -740,6 +866,15 @@ class MobileHost:
                 self.signatures.record_evict(evicted.item, self.cache.items())
             if new_item:
                 self.signatures.record_insert(entry.item)
+        if self._tracer is not None:
+            if evicted is not None:
+                self._tracer.instant(
+                    "cache-evict", host=self.index, item=evicted.item
+                )
+            if new_item:
+                self._tracer.instant(
+                    "cache-admit", host=self.index, item=entry.item
+                )
         if self._monitor is not None:
             self._monitor.check_client_cache(self.index, self.cache, self.env.now)
 
@@ -750,6 +885,10 @@ class MobileHost:
             if victim is not None:
                 self.cache.evict(victim.item)
                 self.signatures.record_evict(victim.item, self.cache.items())
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "cache-evict", host=self.index, item=victim.item
+                    )
         self._insert(entry)
 
     # ---------------------------------------------------------------- disconnection
@@ -762,9 +901,16 @@ class MobileHost:
         if self.ndp is not None:
             self.ndp.forget(self.index)
         duration = self.rng.uniform(self.config.disc_min, self.config.disc_max)
+        if self._tracer is not None:
+            # Emitted after the RNG draw so traced runs stay bit-identical.
+            self._tracer.instant(
+                "disconnect", host=self.index, duration=duration
+            )
         yield self.env.timeout(duration)
         self.connected = True
         self.network.set_connected(self.index, True)
+        if self._tracer is not None:
+            self._tracer.instant("reconnect", host=self.index)
         if self.signatures is not None:
             yield from self._reconnect_protocol()
 
@@ -774,6 +920,13 @@ class MobileHost:
         for attempt in range(1 + self.config.uplink_retry_limit):
             if attempt:
                 self.metrics.record_retry("uplink")
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "uplink-retry",
+                        host=self.index,
+                        attempt=attempt,
+                        recorded=self.metrics.recording,
+                    )
                 yield self.env.timeout(backoff)
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.membership_sync)
@@ -805,6 +958,8 @@ class MobileHost:
         self.crashes += 1
         self.connected = False
         self.network.set_connected(self.index, False)
+        if self._tracer is not None:
+            self._tracer.instant("fault-crash", host=self.index)
 
     def recover(self):
         """Process helper: come back up after a crash outage.
@@ -815,6 +970,8 @@ class MobileHost:
         """
         self.connected = True
         self.network.set_connected(self.index, True)
+        if self._tracer is not None:
+            self._tracer.instant("fault-recover", host=self.index)
         if self.ndp is not None:
             self.ndp.forget(self.index)
         if self.signatures is not None:

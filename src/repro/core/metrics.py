@@ -26,7 +26,31 @@ from repro.net.power import PowerLedger
 from repro.sim.profile import RunProfile
 from repro.sim.stats import WelfordAccumulator
 
-__all__ = ["Metrics", "RequestOutcome", "RequestTrace", "Results"]
+__all__ = [
+    "Metrics",
+    "RequestOutcome",
+    "RequestTrace",
+    "Results",
+    "TracingDisabledError",
+]
+
+
+class TracingDisabledError(RuntimeError):
+    """A per-request trace query was made on an untraced :class:`Metrics`.
+
+    Raised by :meth:`Metrics.latency_percentiles` and
+    :meth:`Metrics.client_timeline` when the instance was built with
+    ``trace=False``; the message names the query and says how to enable
+    tracing.
+    """
+
+    def __init__(self, query: str) -> None:
+        super().__init__(
+            f"{query} needs per-request traces, but this Metrics was built "
+            "with trace=False; construct it with Metrics(scheme, trace=True) "
+            "or run with SimulationConfig(trace_requests=True)"
+        )
+        self.query = query
 
 
 class RequestOutcome(Enum):
@@ -198,7 +222,7 @@ class Metrics:
     ) -> Dict[float, float]:
         """Latency percentiles from the trace (requires ``trace=True``)."""
         if not self.trace:
-            raise RuntimeError("latency_percentiles requires tracing enabled")
+            raise TracingDisabledError("latency_percentiles")
         values = [
             t.latency
             for t in self.traces
@@ -212,7 +236,7 @@ class Metrics:
     def client_timeline(self, client: int) -> List[RequestTrace]:
         """All traced requests of one client, in time order."""
         if not self.trace:
-            raise RuntimeError("client_timeline requires tracing enabled")
+            raise TracingDisabledError("client_timeline")
         return [t for t in self.traces if t.client == client]
 
     def record_validation(self, refreshed: bool) -> None:

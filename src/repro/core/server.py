@@ -67,6 +67,7 @@ class MobileSupportStation:
         database: ServerDatabase,
         tcg: Optional[TCGManager] = None,
         monitor=None,
+        tracer=None,
     ):
         self.env = env
         self.config = config
@@ -74,6 +75,8 @@ class MobileSupportStation:
         self.tcg = tcg  # None for LC/CC
         #: Optional invariant oracle (duck-typed; see repro.check.monitor).
         self._monitor = monitor
+        #: Optional span tracer (see repro.obs.tracer).
+        self._tracer = tracer
         self.data_requests = 0
         self.validations = 0
         self.explicit_updates = 0
@@ -106,6 +109,8 @@ class MobileSupportStation:
     ) -> ServerReply:
         """A cache-miss pull of ``item``; returns the copy and its TTL."""
         self.data_requests += 1
+        if self._tracer is not None:
+            self._tracer.instant("mss-serve", host=client, kind="data", item=item)
         self._learn(client, location, [item])
         added, removed = self._drain_changes(client)
         now = self.env.now
@@ -132,6 +137,10 @@ class MobileSupportStation:
     ) -> ValidationReply:
         """Section IV-F: refresh a stale copy or approve its validity."""
         self.validations += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "mss-serve", host=client, kind="validate", item=item
+            )
         self._learn(client, location, [item])
         added, removed = self._drain_changes(client)
         now = self.env.now

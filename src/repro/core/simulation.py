@@ -55,11 +55,19 @@ class Simulation:
     TCG manager, and a periodic audit process sweeps the global
     invariants.  Without a monitor every hook collapses to a dormant
     ``is None`` branch and the simulated outcome is bit-identical.
+
+    ``observer`` optionally attaches a :class:`~repro.obs.session.Observer`
+    the same way: its tracer is threaded through the clients, the MSS,
+    the NDP and the TCG manager, and its sampler runs as a periodic
+    audit-style kernel process.  Observation is read-only — an observed
+    run produces identical :class:`Results` fields.
     """
 
-    def __init__(self, config: SimulationConfig, monitor=None):
+    def __init__(self, config: SimulationConfig, monitor=None, observer=None):
         self.config = config
         self.monitor = monitor
+        self.observer = observer
+        tracer = observer.tracer if observer is not None else None
         if monitor is not None:
             monitor.bind(config)
         self.env = Environment(monitor=monitor)
@@ -116,6 +124,7 @@ class Simulation:
                 config.similarity_threshold,
                 config.omega,
                 monitor=monitor,
+                tracer=tracer,
             )
             self.signature_scheme = SignatureScheme(
                 self.streams.stream("hash"),
@@ -123,7 +132,8 @@ class Simulation:
                 config.signature_hashes,
             )
         self.server = MobileSupportStation(
-            self.env, config, self.database, tcg=self.tcg, monitor=monitor
+            self.env, config, self.database, tcg=self.tcg, monitor=monitor,
+            tracer=tracer,
         )
         self.ndp: Optional[NeighborDiscovery] = None
         if config.ndp_enabled:
@@ -133,6 +143,7 @@ class Simulation:
                 beacon_interval=config.beacon_interval,
                 miss_limit=config.beacon_miss_limit,
                 monitor=monitor,
+                tracer=tracer,
             )
         sizes = MessageSizes(data=config.data_size)
         patterns = build_access_patterns(
@@ -157,6 +168,7 @@ class Simulation:
                 signature_scheme=self.signature_scheme,
                 ndp=self.ndp,
                 monitor=monitor,
+                tracer=tracer,
             )
             for index in range(config.n_clients)
         ]
@@ -164,6 +176,8 @@ class Simulation:
             self.env.process(self._crash_daemon())
         if monitor is not None:
             self.env.process(self._audit_loop())
+        if observer is not None:
+            observer.attach(self)
 
     def _audit_loop(self):
         """Periodic global invariant sweep (monitored runs only)."""
@@ -252,21 +266,26 @@ class Simulation:
         )
 
 
-def run_simulation(config: SimulationConfig, monitor=None) -> Results:
+def run_simulation(config: SimulationConfig, monitor=None, observer=None) -> Results:
     """Build and run one experiment; the main public entry point.
 
     The returned :class:`Results` carries a :class:`RunProfile` (wall-clock,
     events processed, per-subsystem counters) in its ``profile`` field.
     ``monitor`` optionally attaches an
     :class:`~repro.check.monitor.InvariantMonitor`; its final audit runs
-    after the measurement window completes.
+    after the measurement window completes.  ``observer`` optionally
+    attaches a :class:`~repro.obs.session.Observer` (span tracer +
+    time-series sampler); it is finalized — open spans swept, the closing
+    sample taken — before this function returns.
     """
     global _SIMULATIONS_RUN
     start = time.perf_counter()  # simlint: allow[no-wall-clock] reason=profiling only; never feeds simulated time
-    simulation = Simulation(config, monitor=monitor)
+    simulation = Simulation(config, monitor=monitor, observer=observer)
     results = simulation.run()
     if monitor is not None:
         monitor.finalize(simulation)
+    if observer is not None:
+        observer.finalize(simulation)
     _SIMULATIONS_RUN += 1
     elapsed = time.perf_counter() - start  # simlint: allow[no-wall-clock] reason=profiling only; never feeds simulated time
     results.profile = simulation.profile(elapsed)

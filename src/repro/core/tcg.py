@@ -39,6 +39,7 @@ class TCGManager:
         similarity_threshold: float,
         omega: float,
         monitor=None,
+        tracer=None,
     ):
         if n_clients < 1 or n_data < 1:
             raise ValueError("need clients and data items")
@@ -55,6 +56,9 @@ class TCGManager:
         self.omega = float(omega)
         #: Optional invariant oracle (duck-typed; see repro.check.monitor).
         self._monitor = monitor
+        #: Optional span tracer (see repro.obs.tracer); the TCG manager has
+        #: no env reference — the bound tracer supplies the sim time.
+        self._tracer = tracer
 
         self.access_counts = np.zeros((n_clients, n_data), dtype=np.int64)
         self._dot = np.zeros((n_clients, n_clients))
@@ -144,6 +148,13 @@ class TCGManager:
             self.member[client] = eligible
             self.member[:, client] = eligible
             self.membership_changes += int(changed.sum())
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "tcg-change",
+                    host=client,
+                    changed=int(changed.sum()),
+                    size=int(eligible.sum()),
+                )
         if self._monitor is not None:
             self._monitor.check_tcg_row(self, client)
 

@@ -35,6 +35,7 @@ class NeighborDiscovery:
         miss_limit: int = 3,
         charge_power: bool = True,
         monitor=None,
+        tracer=None,
     ):
         if beacon_interval <= 0:
             raise ValueError("beacon_interval must be positive")
@@ -48,6 +49,8 @@ class NeighborDiscovery:
         self.charge_power = charge_power
         #: Optional invariant oracle (duck-typed; see repro.check.monitor).
         self._monitor = monitor
+        #: Optional span tracer (see repro.obs.tracer).
+        self._tracer = tracer
         n = len(network.field)
         # last_heard[i, j]: when host i last heard host j's beacon.
         self._last_heard = np.full((n, n), -np.inf)
@@ -76,6 +79,8 @@ class NeighborDiscovery:
         if not senders.size:
             return
         self.rounds += 1
+        if self._tracer is not None:
+            self._tracer.instant("ndp-round", senders=int(senders.size))
         field = network.field
         # Per-sender in-range listener sets via the field's boolean-mask
         # query: no (N, N) distance matrix, no N^2 sqrt per beacon cycle.

@@ -1,0 +1,110 @@
+"""The committed Chrome-trace schema and a dependency-free validator.
+
+``chrome_trace.schema.json`` (committed next to this module) pins the
+exact shape :func:`repro.obs.export.write_chrome_trace` emits.  The
+validator implements the small JSON-Schema subset that file uses —
+``type`` / ``required`` / ``properties`` / ``additionalProperties`` /
+``items`` / ``enum`` / ``minimum`` / ``minLength`` — so the trace-contract
+tests can validate exports without adding a ``jsonschema`` dependency to
+the simulation environment (the test suite cross-checks against the real
+``jsonschema`` package whenever it happens to be installed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["load_chrome_trace_schema", "validate"]
+
+_SCHEMA_PATH = Path(__file__).resolve().parent / "chrome_trace.schema.json"
+
+
+def load_chrome_trace_schema() -> Dict[str, object]:
+    """The committed schema for ``trace.chrome.json`` exports."""
+    with open(_SCHEMA_PATH, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    if not isinstance(schema, dict):
+        raise ValueError(f"{_SCHEMA_PATH} does not hold a schema object")
+    return schema
+
+
+#: JSON-Schema ``type`` names to the Python shapes they admit.  ``bool``
+#: is checked before ``integer``/``number`` because it subclasses int.
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, name: str) -> bool:
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    if expected is None:
+        raise ValueError(f"unsupported schema type {name!r}")
+    return isinstance(value, expected)
+
+
+def validate(instance: object, schema: Dict[str, object]) -> List[str]:
+    """Validate ``instance``; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    _validate(instance, schema, "$", problems)
+    return problems
+
+
+def _validate(
+    instance: object,
+    schema: Dict[str, object],
+    where: str,
+    problems: List[str],
+) -> None:
+    type_name = schema.get("type")
+    if isinstance(type_name, str) and not _type_ok(instance, type_name):
+        problems.append(
+            f"{where}: expected {type_name}, got {type(instance).__name__}"
+        )
+        return
+    enum = schema.get("enum")
+    if isinstance(enum, list) and instance not in enum:
+        problems.append(f"{where}: {instance!r} is not one of {enum}")
+    minimum = schema.get("minimum")
+    if (
+        isinstance(minimum, (int, float))
+        and isinstance(instance, (int, float))
+        and not isinstance(instance, bool)
+        and instance < minimum
+    ):
+        problems.append(f"{where}: {instance!r} is below the minimum {minimum}")
+    min_length = schema.get("minLength")
+    if (
+        isinstance(min_length, int)
+        and isinstance(instance, str)
+        and len(instance) < min_length
+    ):
+        problems.append(f"{where}: shorter than minLength {min_length}")
+    if isinstance(instance, dict):
+        required = schema.get("required")
+        if isinstance(required, list):
+            for key in required:
+                if key not in instance:
+                    problems.append(f"{where}: missing required key {key!r}")
+        properties = schema.get("properties")
+        properties = properties if isinstance(properties, dict) else {}
+        for key, value in instance.items():
+            subschema = properties.get(key)
+            if isinstance(subschema, dict):
+                _validate(value, subschema, f"{where}.{key}", problems)
+            elif schema.get("additionalProperties") is False:
+                problems.append(f"{where}: unexpected key {key!r}")
+    elif isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                _validate(value, items, f"{where}[{index}]", problems)

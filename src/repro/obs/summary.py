@@ -1,0 +1,113 @@
+"""Per-phase latency breakdowns from recorded traces.
+
+``repro trace summarize PATH`` renders the output of
+:func:`phase_breakdown`: one row per span name (request, local, search,
+retrieve, mss, validate, ...) with count, mean / p50 / p95 / max duration
+and the total simulated time spent in that phase.  ``PATH`` may be a
+``trace.jsonl`` file, a traced-run directory, or a sweep output root —
+directories are searched recursively and their runs aggregated into one
+table (the per-sweep phase-latency view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.obs.export import load_events
+from repro.obs.tracer import Span, TraceEvent, derive_spans
+
+__all__ = [
+    "PhaseStats",
+    "find_trace_files",
+    "format_breakdown",
+    "phase_breakdown",
+    "summarize_path",
+]
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Duration statistics of every span sharing one name."""
+
+    name: str
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+    total: float
+
+
+def phase_breakdown(spans: Sequence[Span]) -> List[PhaseStats]:
+    """Duration statistics per span name, widest total first."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    stats = []
+    for name, durations in by_name.items():
+        array = np.asarray(durations)
+        stats.append(
+            PhaseStats(
+                name=name,
+                count=len(durations),
+                mean=float(array.mean()),
+                p50=float(np.percentile(array, 50.0)),
+                p95=float(np.percentile(array, 95.0)),
+                max=float(array.max()),
+                total=float(array.sum()),
+            )
+        )
+    stats.sort(key=lambda s: (-s.total, s.name))
+    return stats
+
+
+def format_breakdown(stats: Sequence[PhaseStats], title: str = "") -> str:
+    """Render the breakdown as the CLI's text table (durations in ms)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"  {'phase':<12} {'count':>7} {'mean':>9} {'p50':>9} "
+        f"{'p95':>9} {'max':>9} {'total':>10}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in stats:
+        lines.append(
+            f"  {row.name:<12} {row.count:>7} "
+            f"{row.mean * 1e3:>8.2f}m {row.p50 * 1e3:>8.2f}m "
+            f"{row.p95 * 1e3:>8.2f}m {row.max * 1e3:>8.2f}m "
+            f"{row.total:>9.3f}s"
+        )
+    if not stats:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def find_trace_files(path: Path) -> List[Path]:
+    """Every ``trace.jsonl`` reachable from ``path`` (file or directory)."""
+    path = Path(path)
+    if path.is_file():
+        return [path]
+    if path.is_dir():
+        return sorted(path.rglob("trace.jsonl"))
+    raise FileNotFoundError(f"no trace file or directory at {path}")
+
+
+def summarize_path(path: Path) -> str:
+    """The ``repro trace summarize`` payload for a file / run / sweep dir."""
+    files = find_trace_files(path)
+    if not files:
+        raise FileNotFoundError(f"no trace.jsonl found under {path}")
+    events: List[TraceEvent] = []
+    for file in files:
+        events.extend(load_events(file))
+    title = (
+        f"phase latency breakdown: {len(files)} trace(s), "
+        f"{len(events)} event(s)"
+    )
+    return format_breakdown(phase_breakdown(derive_spans(events)), title)

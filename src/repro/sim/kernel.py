@@ -319,6 +319,11 @@ class Environment:
     def now(self) -> float:
         return self._now
 
+    @property
+    def pending_events(self) -> int:
+        """Scheduled-but-unprocessed events (heap size); read by samplers."""
+        return len(self._heap)
+
     # -- event factories ---------------------------------------------------
 
     def event(self) -> Event:

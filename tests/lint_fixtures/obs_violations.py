@@ -1,0 +1,49 @@
+"""Seeded obs-raw-time violations for the simlint rule tests.
+
+This module is a lint fixture, not runnable code: the receivers are
+stand-ins for repro.obs tracer/sampler objects.
+"""
+
+import time
+from datetime import datetime
+
+
+class _FakeEnv:
+    now = 0.0
+
+
+env = _FakeEnv()
+tracer = None
+sampler = None
+
+
+def wall_clock_into_tracer():
+    tracer.instant("tick", at=time.time())  # MARK:obs-raw-time-wall-clock
+
+
+def wall_clock_into_sampler():
+    sampler.sample(timestamp=datetime.now())  # MARK:obs-raw-time-datetime
+
+
+def wall_clock_positional(self_tracer):
+    self_tracer.begin("span", time.perf_counter())  # MARK:obs-raw-time-positional
+
+
+def raw_timestamp_keyword():
+    tracer.begin("span", ts=123.4)  # MARK:obs-raw-time-keyword
+
+
+def derived_timestamp_keyword():
+    tracer.instant("tick", when=env.now + 1.0)  # MARK:obs-raw-time-derived
+
+
+def sim_time_is_fine():
+    tracer.instant("tick", at=env.now)  # ok: env.now is the kernel clock
+
+
+def bare_now_is_fine(now):
+    tracer.instant("tick", t=now)  # ok: a bare `now` local carries env.now
+
+
+def plain_args_are_fine():
+    tracer.begin("span", host=3, item=17)  # ok: no timestamp keywords

@@ -95,6 +95,47 @@ def test_known_config_fields_are_not_flagged():
     assert not any(f.line == ok_line for f in findings)
 
 
+OBS_CASES = [
+    ("obs-raw-time", "MARK:obs-raw-time-wall-clock"),
+    ("obs-raw-time", "MARK:obs-raw-time-datetime"),
+    ("obs-raw-time", "MARK:obs-raw-time-positional"),
+    ("obs-raw-time", "MARK:obs-raw-time-keyword"),
+    ("obs-raw-time", "MARK:obs-raw-time-derived"),
+]
+
+
+@pytest.mark.parametrize("rule_id,marker", OBS_CASES)
+def test_obs_rules_catch_seeded_violations(rule_id, marker):
+    findings = findings_for("obs_violations.py")
+    line = marker_line("obs_violations.py", marker)
+    assert any(
+        f.rule == rule_id and f.line == line for f in findings
+    ), f"{rule_id} not reported at line {line}: {findings}"
+
+
+def test_obs_rule_accepts_sim_time_arguments():
+    findings = findings_for("obs_violations.py")
+    ok_lines = {
+        marker_line("obs_violations.py", "ok: env.now is the kernel clock"),
+        marker_line("obs_violations.py", "ok: a bare `now` local"),
+        marker_line("obs_violations.py", "ok: no timestamp keywords"),
+    }
+    obs_findings = [f for f in findings if f.rule == "obs-raw-time"]
+    assert not any(f.line in ok_lines for f in obs_findings)
+
+
+def test_obs_rule_is_clean_on_the_obs_package():
+    package = Path(__file__).parent.parent / "src" / "repro" / "obs"
+    for path in sorted(package.glob("*.py")):
+        module = ModuleSource.from_path(path)
+        findings = [
+            f
+            for f in lint_source(module, all_rules())
+            if f.rule == "obs-raw-time"
+        ]
+        assert findings == [], f"{path.name}: {findings}"
+
+
 def test_unvalidated_config_field_rule_fires_on_synthetic_class(tmp_path):
     source = (
         "from dataclasses import dataclass\n"

@@ -1,0 +1,165 @@
+"""Trace-contract suite: every traced run yields a reconcilable timeline.
+
+The contract (see ``repro.obs.contract``): spans are balanced and nested,
+instants sit inside their parent span, and the recorded span/instant
+counts reconcile *exactly* with the run's :class:`Results` counters and
+the :class:`RunProfile` work counters — across LC / CC / GC, several
+seeds, and a fault-injected run.  A deliberately injected unbalanced-span
+bug must make the checker fail loudly.
+"""
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.core.client import MobileHost
+from repro.core.config import CachingScheme, SimulationConfig
+from repro.core.simulation import run_simulation
+from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
+from repro.obs import (
+    Observer,
+    check_trace,
+    derive_spans,
+    load_chrome_trace_schema,
+    run_traced,
+    validate,
+)
+from repro.obs.export import chrome_trace_payload
+
+#: Small enough that one traced run takes well under a second, large
+#: enough that caches fill, searches fan out and TCGs form.
+_BASE = dict(
+    n_clients=8,
+    n_data=200,
+    access_range=40,
+    cache_size=8,
+    group_size=4,
+    measure_requests=8,
+    warmup_min_time=30.0,
+    warmup_max_time=60.0,
+    ndp_enabled=True,
+)
+
+_FAULT_PLAN = FaultPlan(
+    p2p=LinkFaults(loss=0.15, burst_loss=0.3, burst_on=0.05, burst_off=0.5),
+    uplink=LinkFaults(loss=0.08),
+    downlink=LinkFaults(loss=0.08),
+    crash=CrashFaults(rate=0.002, down_min=2.0, down_max=6.0),
+)
+
+
+def _config(scheme, seed, **overrides):
+    return SimulationConfig(scheme=scheme, seed=seed, **{**_BASE, **overrides})
+
+
+def _traced_run(config, sample_period=5.0):
+    observer = Observer(sample_period=sample_period)
+    results = run_simulation(config, observer=observer)
+    return observer, results
+
+
+SCHEMES = [CachingScheme.LC, CachingScheme.CC, CachingScheme.GC]
+SEEDS = [11, 23, 47]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+def test_contract_holds_across_schemes_and_seeds(scheme, seed):
+    observer, results = _traced_run(_config(scheme, seed))
+    problems = check_trace(
+        observer.tracer.events, results=results, profile=results.profile
+    )
+    assert problems == [], "\n".join(problems)
+    assert observer.tracer.open_spans == 0
+
+
+def test_contract_holds_under_fault_injection():
+    config = _config(
+        CachingScheme.GC,
+        seed=7,
+        faults=_FAULT_PLAN,
+        search_retry_limit=1,
+        retrieve_retry_limit=1,
+    )
+    observer, results = _traced_run(config)
+    problems = check_trace(
+        observer.tracer.events, results=results, profile=results.profile
+    )
+    assert problems == [], "\n".join(problems)
+    # The fault machinery actually ran (the contract reconciled it).
+    assert "fault_crashes" in results.profile.counters
+
+
+def test_request_spans_reconcile_with_results_directly():
+    """One explicit reconciliation, independent of the checker's wording."""
+    observer, results = _traced_run(_config(CachingScheme.GC, seed=11))
+    spans = derive_spans(observer.tracer.events)
+    recorded = [
+        s for s in spans if s.name == "request" and s.args.get("recorded")
+    ]
+    assert len(recorded) == results.requests
+    by_status = Counter(s.status for s in recorded)
+    assert by_status.get("local_hit", 0) == results.local_hits
+    assert by_status.get("global_hit", 0) == results.global_hits
+    assert by_status.get("server", 0) == results.server_requests
+    assert by_status.get("failure", 0) == results.failures
+
+
+def test_spans_are_balanced_after_finalize():
+    observer, _results = _traced_run(_config(CachingScheme.CC, seed=23))
+    assert observer.tracer.finished
+    assert observer.tracer.open_spans == 0
+    assert not any(s.status == "open" for s in derive_spans(observer.tracer.events))
+
+
+def test_chrome_trace_validates_against_committed_schema():
+    observer, _results = _traced_run(_config(CachingScheme.GC, seed=11))
+    payload = json.loads(json.dumps(chrome_trace_payload(observer.tracer.events)))
+    schema = load_chrome_trace_schema()
+    assert validate(payload, schema) == []
+
+
+def test_chrome_trace_validates_with_jsonschema_too():
+    jsonschema = pytest.importorskip("jsonschema")
+    observer, _results = _traced_run(_config(CachingScheme.GC, seed=11))
+    payload = json.loads(json.dumps(chrome_trace_payload(observer.tracer.events)))
+    jsonschema.validate(payload, load_chrome_trace_schema())
+
+
+def test_injected_unbalanced_span_bug_fails_loudly(monkeypatch):
+    """Dropping the search span's end call must trip the checker."""
+    original = MobileHost._finish_search
+
+    def buggy(self, sid, outcome):
+        tracer, self._tracer = self._tracer, None
+        try:
+            original(self, sid, outcome)
+        finally:
+            self._tracer = tracer
+
+    monkeypatch.setattr(MobileHost, "_finish_search", buggy)
+    # CC searches on every cache miss, so the bug is certain to trigger.
+    observer, results = _traced_run(_config(CachingScheme.CC, seed=11))
+    problems = check_trace(
+        observer.tracer.events, results=results, profile=results.profile
+    )
+    assert problems, "the injected unbalanced-span bug went undetected"
+    assert any("search" in problem for problem in problems)
+
+
+def test_sample_trace_bundle_exports(tmp_path):
+    """Full bundle export; doubles as the CI sample-trace artifact."""
+    artifact_root = os.environ.get("REPRO_TRACE_ARTIFACT_DIR")
+    out = Path(artifact_root) if artifact_root else tmp_path
+    results, paths = run_traced(
+        _config(CachingScheme.GC, seed=11), out / "gc-sample"
+    )
+    for kind in ("jsonl", "chrome", "series", "manifest"):
+        assert paths[kind].exists(), kind
+    payload = json.loads(paths["chrome"].read_text(encoding="utf-8"))
+    assert validate(payload, load_chrome_trace_schema()) == []
+    manifest = json.loads(paths["manifest"].read_text(encoding="utf-8"))
+    assert manifest["results"]["requests"] == results.requests
