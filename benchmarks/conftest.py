@@ -7,8 +7,10 @@ EXPERIMENTS.md is compiled from those files.
 
 Scale is controlled by ``REPRO_PROFILE`` (quick / bench / full, default
 bench) — see :mod:`repro.experiments.runner`.  ``REPRO_JOBS`` fans each
-figure sweep out over that many worker processes (0 = one per core) with
-results identical to the serial runner; the figure benches additionally
+figure sweep out over that many worker processes (0, empty or unset =
+serial; the CLI's ``--jobs 0`` = one per core is a different, explicit
+contract) with results identical to the serial runner; the figure benches
+additionally
 record a per-run wall-clock / events-per-second profile to
 ``results/<name>.profile.txt`` so the perf trajectory of every future PR
 is measured against these baselines (see ``tools/bench_profile.py``).
@@ -21,10 +23,17 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.parallel import jobs_from_env
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-#: Worker processes for the figure sweeps (1 = serial, 0 = one per core).
-SWEEP_JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+#: Worker processes for the figure sweeps (REPRO_JOBS; 0/unset = serial).
+SWEEP_JOBS = jobs_from_env()
+
+#: Rounds for the micro benches (REPRO_BENCH_ROUNDS; deterministic sims
+#: need >1 round only to measure machine noise, so the default stays 1 and
+#: ``tools/bench_profile.py`` raises it to get a real stddev).
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "1") or "1"))
 
 
 @pytest.fixture(scope="session")
@@ -62,8 +71,13 @@ def record_profile(results_dir):
 
 
 def run_once(benchmark, fn):
-    """Time one full sweep exactly once (simulations are deterministic)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Time a deterministic benchmark body ``BENCH_ROUNDS`` times.
+
+    Simulations are deterministic, so rounds only measure machine noise:
+    plain test runs keep one round, while ``tools/bench_profile.py`` sets
+    ``REPRO_BENCH_ROUNDS>=5`` so the recorded mean carries a real stddev.
+    """
+    return benchmark.pedantic(fn, rounds=BENCH_ROUNDS, iterations=1)
 
 
 def run_sweep_once(benchmark, sweep_fn, **sweep_kwargs):

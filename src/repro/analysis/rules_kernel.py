@@ -19,6 +19,12 @@ a ``.env`` attribute such as ``self.env``):
   ``env.timeout`` or equality-compared against a fresh ``env.now``).
   Computing an elapsed time (``env.now - start``) stays legal — that is
   the idiomatic latency measurement.
+* ``kernel-hot-alloc`` — per-event object construction (container
+  displays, comprehensions, ``list()``-family calls, lambdas) inside a
+  loop of a scheduler dispatch method (``run``/``step`` on a class named
+  like ``Environment``).  The dispatch loop executes once per simulated
+  event — millions of times per run — so every allocation there is paid
+  at event rate; genuinely-needed ones carry an explaining pragma.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.analysis.engine import LintRule, LintViolation, ModuleSource, registe
 
 __all__ = [
     "BlockingCallRule",
+    "HotLoopAllocRule",
     "StaleNowRule",
     "YieldNonEventRule",
 ]
@@ -257,3 +264,82 @@ class StaleNowRule(LintRule):
                 for operand in operands:
                     if isinstance(operand, ast.Name) and operand.id in names:
                         yield operand.id, operand
+
+
+#: Builtin constructors whose call in a dispatch loop allocates per event.
+_ALLOCATING_BUILTINS = frozenset({"dict", "frozenset", "list", "set", "tuple"})
+
+
+def _dispatch_methods(module: ModuleSource) -> Iterator[ast.FunctionDef]:
+    """``run``/``step`` methods of scheduler classes (name ~ Environment)."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "Environment" not in node.name:
+            continue
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name in ("run", "step"):
+                yield item
+
+
+def _loop_bodies(function: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Every node inside a For/While loop of the function's own body."""
+    for node in _own_nodes(function):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for child in node.body + node.orelse:
+            yield from ast.walk(child)
+
+
+@register
+class HotLoopAllocRule(LintRule):
+    """No per-event object construction in the dispatch loop."""
+
+    id = "kernel-hot-alloc"
+    description = (
+        "the scheduler dispatch loop runs once per simulated event; an "
+        "object constructed inside it is allocated (and collected) at "
+        "event rate — hoist it, reuse a preallocated buffer, or recycle "
+        "through a free list"
+    )
+    hint = (
+        "hoist the allocation out of the loop or reuse a buffer; a "
+        "deliberate per-event allocation takes "
+        "# simlint: allow[kernel-hot-alloc] reason=..."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[LintViolation]:
+        for function in _dispatch_methods(module):
+            seen: Set[int] = set()
+            for node in _loop_bodies(function):
+                if id(node) in seen:
+                    continue  # nested loops revisit inner bodies
+                seen.add(id(node))
+                if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                    yield self.violation(
+                        module, node, "comprehension builds a fresh container per event"
+                    )
+                elif isinstance(node, ast.GeneratorExp):
+                    yield self.violation(
+                        module, node, "generator expression allocates per event"
+                    )
+                elif isinstance(node, (ast.List, ast.Set, ast.Dict)):
+                    kind = type(node).__name__.lower()
+                    yield self.violation(
+                        module, node, f"{kind} display allocates a container per event"
+                    )
+                elif isinstance(node, ast.Lambda):
+                    yield self.violation(
+                        module, node, "lambda creates a function object per event"
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ALLOCATING_BUILTINS
+                    and node.func.id not in module.imports
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{node.func.id}() call allocates a container per event",
+                    )

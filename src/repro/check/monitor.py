@@ -416,13 +416,13 @@ class InvariantMonitor:
         env = simulation.env
         now = env.now
         self.checks_run += 1
-        # Kernel heap bookkeeping: pushes − pops == pending events.
+        # Kernel queue bookkeeping: pushes − pops == pending events.
         pending = self._scheduled - self._stepped
-        if pending != len(env._heap):
+        if pending != env.pending_events:
             self.violation(
                 "kernel-heap-bookkeeping",
-                f"{pending} events outstanding but heap holds "
-                f"{len(env._heap)}",
+                f"{pending} events outstanding but queue holds "
+                f"{env.pending_events}",
                 sim_time=now,
             )
         for client in simulation.clients:

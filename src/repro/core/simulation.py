@@ -254,9 +254,13 @@ class Simulation:
             "server_uplink_wait": self.channel.uplink_wait,
             "server_downlink_wait": self.channel.downlink_wait,
             "snapshot_rebuilds": self.field.snapshot_rebuilds,
+            "snapshot_refreshes": self.field.snapshot_refreshes,
+            "snapshot_reuses": self.field.snapshot_reuses,
             "ndp_rounds": self.ndp.rounds if self.ndp is not None else 0,
             "beacons_sent": self.ndp.beacons_sent if self.ndp is not None else 0,
         }
+        for name, value in self.env.queue_stats().items():
+            counters[f"kernel_{name}"] = value
         if self.faults is not None:
             counters.update(self.faults.counters())
         return RunProfile(

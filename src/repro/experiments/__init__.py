@@ -14,6 +14,7 @@
 from repro.experiments.cache import ResultCache, config_key
 from repro.experiments.export import sweep_to_csv, sweep_to_rows
 from repro.experiments.parallel import (
+    jobs_from_env,
     RunCrashed,
     RunFailure,
     RunSpec,
@@ -68,6 +69,7 @@ __all__ = [
     "format_profile_report",
     "format_results_row",
     "format_sweep_table",
+    "jobs_from_env",
     "resolve_jobs",
     "run_replications",
     "run_sweep",

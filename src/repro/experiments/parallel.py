@@ -52,6 +52,7 @@ __all__ = [
     "RunFailure",
     "RunSpec",
     "execute_runs",
+    "jobs_from_env",
     "resolve_jobs",
 ]
 
@@ -94,6 +95,26 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return int(jobs)
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable.
+
+    The environment contract intentionally differs from the CLI's
+    ``--jobs`` flag: ``--jobs 0`` means one worker per core (an explicit
+    request for maximum fan-out), while ``REPRO_JOBS=0`` — and an unset or
+    empty variable — means **serial**.  Environment-driven batch runs (CI,
+    the benchmark suite) must stay on the deterministic single-process
+    path unless parallelism is asked for with a positive count, so that
+    timing baselines are comparable across machines.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return default
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"REPRO_JOBS must be >= 0, got {value}")
+    return value if value > 0 else 1
 
 
 def _stop_pool(pool: ProcessPoolExecutor) -> None:

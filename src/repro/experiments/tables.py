@@ -92,7 +92,8 @@ def format_profile_report(table: SweepTable) -> str:
                 f"  {table.parameter}={value!s:>8} {scheme:>3}: "
                 f"{profile.wall_time:8.2f}s  {profile.events:>10} events  "
                 f"{profile.events_per_sec:>12,.0f} ev/s  p2p_tx={p2p}  "
-                f"snapshots={counters.get('snapshot_rebuilds', 0)}  "
+                f"snapshots={counters.get('snapshot_refreshes', 0)}"
+                f"+{counters.get('snapshot_rebuilds', 0)}full  "
                 f"ndp_rounds={counters.get('ndp_rounds', 0)}"
             )
     if profiled:

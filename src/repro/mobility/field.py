@@ -9,10 +9,16 @@ import numpy as np
 
 from repro.mobility.geometry import Rectangle
 from repro.mobility.rpgm import GroupMemberTrajectory
-from repro.mobility.trajectory import Trajectory
+from repro.mobility.trajectory import (
+    PiecewiseLinearTrajectory,
+    StationaryTrajectory,
+    Trajectory,
+)
 from repro.mobility.waypoint import RandomWaypointTrajectory
 
 __all__ = ["MobilityField", "build_group_mobility"]
+
+_INF = math.inf
 
 
 class MobilityField:
@@ -20,6 +26,17 @@ class MobilityField:
 
     Snapshots are cached per query time: within one simulated instant (e.g.
     a broadcast and its receptions) every query reuses one (N, 2) array.
+
+    For the in-tree trajectory types (stationary, piecewise-linear, RPGM
+    group members) snapshots are maintained *incrementally*: the field
+    caches each host's active motion segment in flat arrays and evaluates
+    the whole population with a handful of vectorised operations, touching
+    individual trajectories only when a segment expires.  The arithmetic
+    matches the scalar path operation-for-operation and stale segments are
+    re-resolved in ascending host order, so positions — and the shared RNG
+    stream driving lazy segment generation — are bit-identical to a full
+    per-host rebuild.  Unknown :class:`Trajectory` subclasses fall back to
+    the per-host rebuild loop (counted by ``snapshot_rebuilds``).
     """
 
     def __init__(
@@ -39,16 +56,100 @@ class MobilityField:
         self._snapshot_time = -math.inf
         # One preallocated (N, 2) buffer, refilled in place per bucket.
         self._snapshot = np.empty((len(self.trajectories), 2))
-        #: Snapshot rebuilds since creation; read by the profiler.
+        #: Full per-host rebuilds (fallback path only); read by the profiler.
         self.snapshot_rebuilds = 0
+        #: Incremental vectorised snapshot computations (one per fresh time).
+        self.snapshot_refreshes = 0
+        #: Queries served straight from the cached snapshot buffer.
+        self.snapshot_reuses = 0
+        self._fast = self._build_segment_cache()
+
+    def _build_segment_cache(self) -> bool:
+        """Set up per-host active-segment arrays; False on unknown types.
+
+        Each host decomposes into a *base* component (its own piecewise
+        path, or the shared group reference) plus an optional *offset*
+        component (RPGM drift).  Static components get a sentinel segment
+        ``[0, inf)`` with zero velocity so they never go stale.
+        """
+        n = len(self.trajectories)
+        base: List[Optional[PiecewiseLinearTrajectory]] = [None] * n
+        off: List[Optional[PiecewiseLinearTrajectory]] = [None] * n
+        self._b_start = np.zeros(n)
+        self._b_end = np.full(n, _INF)
+        self._b_org = np.zeros((n, 2))
+        self._b_vel = np.zeros((n, 2))
+        self._o_start = np.zeros(n)
+        self._o_end = np.full(n, _INF)
+        self._o_org = np.zeros((n, 2))
+        self._o_vel = np.zeros((n, 2))
+        for index, trajectory in enumerate(self.trajectories):
+            base_part: Trajectory = trajectory
+            if isinstance(trajectory, GroupMemberTrajectory):
+                base_part = trajectory.reference
+                drift = trajectory._offset
+                if drift is not None:
+                    off[index] = drift
+                    self._o_end[index] = -_INF  # resolve on first query
+            if isinstance(base_part, StationaryTrajectory):
+                self._b_org[index] = base_part.position(0.0)
+            elif isinstance(base_part, PiecewiseLinearTrajectory):
+                base[index] = base_part
+                self._b_end[index] = -_INF  # resolve on first query
+            else:
+                return False
+        self._base_traj = base
+        self._off_traj = off
+        self._b_dyn = np.array([t is not None for t in base])
+        self._o_dyn = np.array([t is not None for t in off])
+        self._any_offset = bool(self._o_dyn.any())
+        self._all_offset = bool(self._o_dyn.all())
+        self._off_where = np.broadcast_to(self._o_dyn[:, None], (n, 2))
+        self._dt = np.empty(n)
+        self._odt = np.empty(n)
+        self._off_buf = np.empty((n, 2))
+        return True
 
     def __len__(self) -> int:
         return len(self.trajectories)
 
-    def _quantise(self, t: float) -> float:
+    def quantise(self, t: float) -> float:
+        """The snapshot-bucket key for time ``t``.
+
+        Queries whose keys are equal share one position snapshot; callers
+        (e.g. :class:`~repro.net.p2p.P2PNetwork`'s neighbor cache) can use
+        the key to memoise derived geometry per bucket.
+        """
         if self.resolution <= 0:
             return t
         return math.floor(t / self.resolution) * self.resolution
+
+    _quantise = quantise
+
+    def _refresh_segments(self, t: float) -> None:
+        """Re-resolve every expired active segment at time ``t``.
+
+        Ascending host order with base-before-offset per host reproduces
+        the scalar rebuild loop's trajectory-extension order exactly, so
+        the shared RNG stream sees identical draws.
+        """
+        stale_b = ((t >= self._b_end) | (t < self._b_start)) & self._b_dyn
+        stale_o = ((t >= self._o_end) | (t < self._o_start)) & self._o_dyn
+        if not (stale_b.any() or stale_o.any()):
+            return
+        for index in np.nonzero(stale_b | stale_o)[0]:
+            if stale_b[index]:
+                segment = self._base_traj[index].active_segment(t)
+                self._b_start[index] = segment.start
+                self._b_end[index] = segment.end
+                self._b_org[index] = segment.origin
+                self._b_vel[index] = segment.velocity
+            if stale_o[index]:
+                segment = self._off_traj[index].active_segment(t)
+                self._o_start[index] = segment.start
+                self._o_end[index] = segment.end
+                self._o_org[index] = segment.origin
+                self._o_vel[index] = segment.velocity
 
     def positions(self, t: float) -> np.ndarray:
         """(N, 2) array of positions at time ``t`` (cached per bucket).
@@ -58,13 +159,38 @@ class MobilityField:
         it.  Every in-tree caller consumes positions synchronously.
         """
         t = self._quantise(t)
-        if t != self._snapshot_time:
-            snapshot = self._snapshot
+        snapshot = self._snapshot
+        if t == self._snapshot_time:
+            self.snapshot_reuses += 1
+            return snapshot
+        if not self._fast:
             for index, trajectory in enumerate(self.trajectories):
                 snapshot[index] = trajectory.position(t)
             self._snapshot_time = t
             self.snapshot_rebuilds += 1
-        return self._snapshot
+            return snapshot
+        self._refresh_segments(t)
+        # Segment.position(t) elementwise:  origin + velocity * clamp(t).
+        dt = self._dt
+        np.clip(t, self._b_start, self._b_end, out=dt)
+        dt -= self._b_start
+        np.multiply(self._b_vel, dt[:, None], out=snapshot)
+        snapshot += self._b_org
+        if self._any_offset:
+            odt = self._odt
+            np.clip(t, self._o_start, self._o_end, out=odt)
+            odt -= self._o_start
+            drift = np.multiply(self._o_vel, odt[:, None], out=self._off_buf)
+            drift += self._o_org
+            if self._all_offset:
+                snapshot += drift
+            else:
+                # Masked add: a plain `+ 0.0` would flip the sign of any
+                # -0.0 coordinate on offset-free hosts.
+                np.add(snapshot, drift, out=snapshot, where=self._off_where)
+        self._snapshot_time = t
+        self.snapshot_refreshes += 1
+        return snapshot
 
     def position_of(self, index: int, t: float) -> np.ndarray:
         return self.positions(t)[index]

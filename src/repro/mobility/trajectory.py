@@ -76,6 +76,15 @@ class PiecewiseLinearTrajectory(Trajectory):
     # -- public API ----------------------------------------------------------
 
     def position(self, t: float) -> np.ndarray:
+        return self.active_segment(t).position(t)
+
+    def active_segment(self, t: float) -> Segment:
+        """The segment covering time ``t``, generating it on demand.
+
+        Exposed so :class:`~repro.mobility.field.MobilityField` can cache
+        segment endpoints in flat arrays and evaluate whole populations
+        with vectorised arithmetic instead of per-host calls.
+        """
         if self._starts and t < self._starts[0]:
             raise ValueError(
                 f"query at t={t} precedes trajectory start {self._starts[0]}"
@@ -86,7 +95,7 @@ class PiecewiseLinearTrajectory(Trajectory):
             # t is before the first generated segment but after start_time:
             # only possible when no segment exists yet (handled by extend).
             index = 0
-        return self._segments[index].position(t)
+        return self._segments[index]
 
     @property
     def generated_until(self) -> float:

@@ -70,7 +70,7 @@ class MessageSizes:
         return self.header + signature_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One protocol message.
 

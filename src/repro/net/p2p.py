@@ -15,8 +15,9 @@ messages.
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -64,6 +65,15 @@ class P2PNetwork:
         self.broadcasts = 0
         self.unicasts = 0
         self.failed_unicasts = 0
+        # Per-snapshot-bucket neighbor memo: positions are frozen within a
+        # quantisation bucket and this class owns every ``connected`` flip,
+        # so repeated range queries for the same host can reuse the first
+        # result until the bucket or the connectivity mask changes.
+        self._nbr_cache: Dict[int, np.ndarray] = {}
+        self._nbr_time = -math.inf
+        # Scratch masks for the unicast bystander partition.
+        self._near_src_mask = np.zeros(n, dtype=bool)
+        self._near_dst_mask = np.zeros(n, dtype=bool)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -73,6 +83,7 @@ class P2PNetwork:
 
     def set_connected(self, node: int, is_connected: bool) -> None:
         self.connected[node] = is_connected
+        self._nbr_cache.clear()
 
     def is_connected(self, node: int) -> bool:
         return bool(self.connected[node])
@@ -84,10 +95,23 @@ class P2PNetwork:
         return size_bytes * 8.0 / self.bandwidth_bps
 
     def neighbors(self, node: int) -> np.ndarray:
-        """Connected hosts currently within transmission range of ``node``."""
-        return self.field.neighbors_of(
-            node, self.env.now, self.tran_range, include_mask=self.connected
-        )
+        """Connected hosts currently within transmission range of ``node``.
+
+        Memoised per position-snapshot bucket: a third of range queries in
+        a sweep repeat an earlier (host, instant) pair.  The returned array
+        is shared with later callers — treat it as read-only.
+        """
+        bucket = self.field.quantise(self.env.now)
+        if bucket != self._nbr_time:
+            self._nbr_cache.clear()
+            self._nbr_time = bucket
+        cached = self._nbr_cache.get(node)
+        if cached is None:
+            cached = self.field.neighbors_of(
+                node, self.env.now, self.tran_range, include_mask=self.connected
+            )
+            self._nbr_cache[node] = cached
+        return cached
 
     def reachable(self, src: int, dst: int, max_hops: int) -> bool:
         """Whether ``dst`` is within ``max_hops`` P2P hops of ``src`` now.
@@ -143,17 +167,19 @@ class P2PNetwork:
         the variable power cost of that many piggybacked bytes (GroCoCa's
         signature update information) to the ledger's ``signature`` purpose.
         """
-        yield from self._wait_medium(src)
+        busy = self._busy_until
+        if busy[src] - self.env.now > 1e-12:
+            yield from self._wait_medium(src)
         if not self.connected[src]:
             return []
         now = self.env.now
         air = self.tx_time(message.size)
-        receivers = self.field.neighbors_of(
-            src, now, self.tran_range, include_mask=self.connected
-        )
+        receivers = self.neighbors(src)
         end = now + air
-        self._busy_until[src] = max(self._busy_until[src], end)
-        self._occupy(receivers, end)
+        if busy[src] < end:
+            busy[src] = end
+        if len(receivers):
+            busy[receivers] = np.maximum(busy[receivers], end)
         send_cost = self.model.bc_send(message.size)
         recv_cost = self.model.bc_recv(message.size)
         if signature_bytes > 0:
@@ -199,41 +225,47 @@ class P2PNetwork:
         """
         if src == dst:
             raise ValueError("unicast to self")
-        yield from self._wait_medium(src)
+        busy = self._busy_until
+        if busy[src] - self.env.now > 1e-12:
+            yield from self._wait_medium(src)
         if not self.connected[src]:
             return False
         now = self.env.now
         air = self.tx_time(message.size)
         size = message.size
-        near_src = self.field.neighbors_of(
-            src, now, self.tran_range, include_mask=self.connected
-        )
-        near_dst = self.field.neighbors_of(
-            dst, now, self.tran_range, include_mask=self.connected
-        )
-        in_src = set(int(i) for i in near_src)
-        in_dst = set(int(i) for i in near_dst) - {src}
-        deliverable = dst in in_src and self.connected[dst]
+        near_src = self.neighbors(src)
+        near_dst = self.neighbors(dst)
+        # Bystander partition as boolean masks over the population — the
+        # per-host charges are identical to the old set arithmetic (each
+        # host lands in exactly one disjoint class), without building three
+        # Python sets per transmission.
+        in_src = self._near_src_mask
+        in_dst = self._near_dst_mask
+        in_src[:] = False
+        in_src[near_src] = True
+        in_dst[:] = False
+        in_dst[near_dst] = True
+        in_dst[src] = False
+        deliverable = bool(in_src[dst]) and bool(self.connected[dst])
 
         end = now + air
-        self._busy_until[src] = max(self._busy_until[src], end)
-        self._occupy(near_src, end)
+        if busy[src] < end:
+            busy[src] = end
+        if len(near_src):
+            busy[near_src] = np.maximum(busy[near_src], end)
 
         self.ledger.charge(src, self.model.ptp_send(size), purpose)
         if deliverable:
             self.ledger.charge(dst, self.model.ptp_recv(size), purpose)
-        bystanders_src = in_src - {dst}
-        bystanders_both = bystanders_src & in_dst
-        bystanders_src_only = bystanders_src - in_dst
-        bystanders_dst_only = (in_dst - {dst}) - in_src
+        in_src[dst] = False  # bystanders exclude the destination itself
         self.ledger.charge_many(
-            list(bystanders_both), self.model.ptp_discard_sd(size), purpose
+            np.nonzero(in_src & in_dst)[0], self.model.ptp_discard_sd(size), purpose
         )
         self.ledger.charge_many(
-            list(bystanders_src_only), self.model.ptp_discard_s(size), purpose
+            np.nonzero(in_src & ~in_dst)[0], self.model.ptp_discard_s(size), purpose
         )
         self.ledger.charge_many(
-            list(bystanders_dst_only), self.model.ptp_discard_d(size), purpose
+            np.nonzero(in_dst & ~in_src)[0], self.model.ptp_discard_d(size), purpose
         )
 
         self.unicasts += 1

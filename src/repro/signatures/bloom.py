@@ -30,12 +30,23 @@ class SignatureScheme:
         self.k = int(k)
         self._a = rng.integers(1, _PRIME, size=self.k, dtype=np.int64)
         self._b = rng.integers(0, _PRIME, size=self.k, dtype=np.int64)
+        # positions() is a pure function of the item and the (fixed) hash
+        # family, and the item universe is small (n_data), so the hot
+        # signature paths memoise it instead of redoing the object-dtype
+        # modular arithmetic per query.
+        self._positions: dict = {}
 
     def positions(self, item: int) -> Tuple[int, ...]:
-        """The k bit positions of ``item``'s data signature."""
+        """The k bit positions of ``item``'s data signature (memoised)."""
         item = int(item)
-        values = (self._a.astype(object) * item + self._b.astype(object)) % _PRIME
-        return tuple(int(v % self.size_bits) for v in values)
+        cached = self._positions.get(item)
+        if cached is None:
+            values = (
+                self._a.astype(object) * item + self._b.astype(object)
+            ) % _PRIME
+            cached = tuple(int(v % self.size_bits) for v in values)
+            self._positions[item] = cached
+        return cached
 
     def make_filter(self) -> "BloomFilter":
         return BloomFilter(self)

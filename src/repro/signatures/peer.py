@@ -28,11 +28,17 @@ class PeerSignature:
         self.counter_bits = 0  # π_p; zero while no signatures are merged
         self.expansions = 0
         self.contractions = 0
+        # Cached max(counters), maintained incrementally by the update
+        # paths so the per-broadcast piggyback deltas skip the full-vector
+        # reduction; < 0 marks it stale (recompute on next _fit_width).
+        self._peak = 0
 
     # -- width management -------------------------------------------------------
 
     def _fit_width(self) -> None:
-        peak = int(self.counters.max()) if self.counters.size else 0
+        if self._peak < 0:
+            self._peak = int(self.counters.max()) if self.counters.size else 0
+        peak = self._peak
         needed = peak.bit_length() if peak > 0 else 0
         if needed > self.counter_bits:
             self.expansions += needed - self.counter_bits
@@ -54,23 +60,36 @@ class PeerSignature:
         """Forget everything (member departure / reconnection resync)."""
         self.counters[:] = 0
         self.counter_bits = 0
+        self._peak = 0
 
     def merge_signature(self, signature: BloomFilter) -> None:
         """Add one member's full cache signature."""
         if signature.scheme is not self.scheme:
             raise ValueError("signature from a different scheme")
         self.counters += signature.bits
+        self._peak = -1  # whole-vector add: recompute lazily
         self._fit_width()
 
     def apply_update(
         self, insertions: Sequence[int], evictions: Sequence[int]
     ) -> None:
         """Apply a piggybacked insertion/eviction bit-position delta."""
+        counters = self.counters
+        peak = self._peak
         for position in insertions:
-            self.counters[position] += 1
+            value = counters[position] + 1
+            counters[position] = value
+            if peak >= 0 and value > peak:
+                peak = int(value)
         for position in evictions:
-            if self.counters[position] > 0:
-                self.counters[position] -= 1
+            value = counters[position]
+            if value > 0:
+                counters[position] = value - 1
+                if value == peak:
+                    # The decremented counter may have been the only one
+                    # at the peak; a full recompute settles it.
+                    peak = -1
+        self._peak = peak
         self._fit_width()
 
     # -- queries ---------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 A small, fast, dependency-free kernel in the style of CSIM/simpy:
 
-* :class:`Environment` owns the clock and the event heap.
+* :class:`Environment` owns the clock and the scheduler queue.
 * :class:`Event` is a one-shot occurrence that processes can wait on.
 * :class:`Process` wraps a generator; ``yield event`` suspends the process
   until the event fires and resumes it with the event's value.
@@ -11,22 +11,70 @@ A small, fast, dependency-free kernel in the style of CSIM/simpy:
   reply-or-timeout race).
 
 The kernel is deterministic: simultaneous events fire in schedule order.
+Formally, events fire in ascending ``(when, seq)`` order, where ``seq`` is
+the global schedule counter — every queue implementation below preserves
+that order exactly, so swapping queues never changes a simulated outcome.
+
+Two interchangeable scheduler queues are provided (see docs/PERFORMANCE.md):
+
+* :class:`HeapQueue` (default) — one ``heapq`` of ``(when, seq, event)``
+  tuples.  The C-accelerated ``heapq`` makes this the fastest queue on
+  CPython at every pending-set size we measured, so it is both the
+  production queue and the bit-identity oracle for the property suite.
+* :class:`CalendarQueue` — a calendar/bucket queue tuned to the
+  simulator's periodic structure (beacon periods, timeout tau, sampler
+  ticks).  Near-future events live in a ring of width-``w`` time buckets;
+  far-future events fall back to a binary heap and migrate into the ring
+  as the clock approaches them.  The bucket width and ring size auto-tune
+  to the observed event-gap distribution and pending-event count.  Its
+  per-operation cost is O(1) but paid in Python bytecode, which on
+  CPython does not beat ``heapq``'s O(log n) in C; it is kept as a fully
+  supported A/B alternative (and wins where ``heapq`` has no C module).
+
+Select with ``Environment(queue="calendar"|"heap")`` or the
+``REPRO_KERNEL_QUEUE`` environment variable.
+
+Hot-path discipline: the environment keeps the globally earliest entry in
+a one-slot *front register* so the ubiquitous schedule-then-fire-next
+pattern never touches the queue at all; :meth:`Environment.run` dispatches
+*batches* of same-tick events with attribute lookups hoisted out of the
+loop, and recycles :class:`Timeout` objects through a free list once the
+kernel is provably their only owner.  The ``kernel-hot-alloc`` simlint
+rule guards this file's dispatch loops against per-event allocations
+creeping back in.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+import math
+import os
+import sys
+from heapq import heappop, heappush
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Environment",
     "Event",
+    "HeapQueue",
     "Interrupt",
     "Process",
+    "QUEUE_IMPLEMENTATIONS",
     "SimulationError",
     "Timeout",
+    "default_queue_name",
 ]
 
 
@@ -49,8 +97,13 @@ class Interrupt(Exception):
 
 # Event lifecycle states.
 _PENDING = 0
-_TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+_TRIGGERED = 1  # scheduled on the queue, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
+
+_INF = math.inf
+
+#: One scheduled occurrence: ``(when, seq, event)``.
+_Entry = Tuple[float, int, "Event"]
 
 
 class Event:
@@ -58,7 +111,7 @@ class Event:
 
     Processes wait on events by yielding them.  An event is *triggered* by
     :meth:`succeed` or :meth:`fail`; its callbacks run when the kernel pops
-    it off the heap at the trigger time.
+    it off the queue at the trigger time.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_exception", "_state", "_defused")
@@ -142,7 +195,12 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    Timeouts are the kernel's dominant allocation, so
+    :meth:`Environment.timeout` recycles them through a free list; a
+    recycled instance is indistinguishable from a fresh one.
+    """
 
     __slots__ = ("delay",)
 
@@ -163,7 +221,7 @@ class Process(Event):
     uncaught exception inside the generator fails the process-event.
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
@@ -171,10 +229,13 @@ class Process(Event):
             raise SimulationError("Process requires a generator")
         self.generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method for the process's whole lifetime: creating a
+        # fresh bound method per yield is measurable at millions of events.
+        self._resume_cb: Callable[[Event], None] = self._resume
         # Kick-start at the current time.
         bootstrap = Event(env)
         bootstrap._state = _TRIGGERED
-        bootstrap.add_callback(self._resume)
+        bootstrap.add_callback(self._resume_cb)
         env._schedule(bootstrap)
 
     @property
@@ -188,25 +249,26 @@ class Process(Event):
         if self._waiting_on is None:
             raise SimulationError("cannot interrupt an unstarted process")
         waited = self._waiting_on
-        if waited.callbacks is not None and self._resume in waited.callbacks:
-            waited.callbacks.remove(self._resume)
+        if waited.callbacks is not None and self._resume_cb in waited.callbacks:
+            waited.callbacks.remove(self._resume_cb)
         self._waiting_on = None
         wakeup = Event(self.env)
         wakeup._exception = Interrupt(cause)
         wakeup._state = _TRIGGERED
         wakeup._defused = True
-        wakeup.add_callback(self._resume)
+        wakeup.add_callback(self._resume_cb)
         self.env._schedule(wakeup)
 
     def _resume(self, fired: Event) -> None:
         self._waiting_on = None
+        generator = self.generator
         while True:
             try:
                 if fired._exception is not None:
                     fired._defused = True
-                    target = self.generator.throw(fired._exception)
+                    target = generator.throw(fired._exception)
                 else:
-                    target = self.generator.send(fired._value)
+                    target = generator.send(fired._value)
             except StopIteration as stop:
                 if self._state == _PENDING:
                     self.succeed(stop.value)
@@ -216,17 +278,19 @@ class Process(Event):
                     self.fail(exc)
                     return
                 raise
-            if not isinstance(target, Event):
-                self.generator.close()
-                if self._state == _PENDING:
-                    self.fail(SimulationError(f"process yielded a non-event: {target!r}"))
-                return
-            if target._state == _PROCESSED:
-                # Already fired: resume immediately without a heap trip.
+            if type(target) is Timeout or isinstance(target, Event):
+                if target._state != _PROCESSED:
+                    self._waiting_on = target
+                    callbacks = target.callbacks
+                    if callbacks is not None:
+                        callbacks.append(self._resume_cb)
+                    return
+                # Already fired: resume immediately without a queue trip.
                 fired = target
                 continue
-            self._waiting_on = target
-            target.add_callback(self._resume)
+            generator.close()
+            if self._state == _PENDING:
+                self.fail(SimulationError(f"process yielded a non-event: {target!r}"))
             return
 
 
@@ -271,9 +335,6 @@ class _Condition(Event):
             event: event._value for event in self.events if event._state == _PROCESSED
         }
 
-    def _check_count(self, needed: int) -> bool:
-        return self._fired_count >= needed
-
 
 class AnyOf(_Condition):
     """Fires when any of the given events fires.
@@ -296,24 +357,524 @@ class AllOf(_Condition):
         return self._fired_count >= len(self.events)
 
 
+class HeapQueue:
+    """Reference scheduler queue: one binary heap of ``(when, seq, event)``.
+
+    The bit-identity oracle: every other queue implementation must dispatch
+    any schedule in exactly this queue's order.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "size", "_requeue_seq")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._heap: List[_Entry] = []
+        #: Pending entries; a plain attribute so the dispatch loop can read
+        #: it without a method call.
+        self.size = 0
+        # Requeued (popped-but-unprocessed) entries sort before every live
+        # seq, preserving their original position at the same timestamp.
+        self._requeue_seq = -(1 << 62)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def push(self, when: float, seq: int, event: Event) -> None:
+        heappush(self._heap, (when, seq, event))
+        self.size += 1
+
+    def peek(self) -> float:
+        """Earliest scheduled time, or +inf when idle."""
+        return self._heap[0][0] if self._heap else _INF
+
+    def pop_one(self) -> Tuple[float, Event]:
+        when, _seq, event = heappop(self._heap)
+        self.size -= 1
+        return when, event
+
+    def pop_batch(self, limit: float = _INF) -> Optional[Tuple[float, List[Event]]]:
+        """All events at the earliest time <= ``limit``, in seq order."""
+        heap = self._heap
+        if not heap or heap[0][0] > limit:
+            return None
+        when, _seq, event = heappop(heap)
+        batch = [event]
+        while heap and heap[0][0] == when:
+            batch.append(heappop(heap)[2])
+        self.size -= len(batch)
+        return when, batch
+
+    def requeue(self, when: float, events: List[Event]) -> None:
+        """Put an unprocessed batch tail back at the front of its tick."""
+        for event in events:
+            self._requeue_seq += 1
+            heappush(self._heap, (when, self._requeue_seq, event))
+        self.size += len(events)
+
+    def stats(self) -> Dict[str, int]:
+        """Queue-level work counters (none for the reference heap)."""
+        return {}
+
+
+class CalendarQueue:
+    """A calendar/bucket queue with a heap fallback for far-future events.
+
+    Near-future events (within ``nslots * width`` of the clock) live in a
+    ring of time buckets of width ``width``; a bucket holds the events of
+    one width-wide time window of the current "year", appended in schedule
+    order.  Far-future events wait in a binary heap and migrate into the
+    ring when the clock's year advances to reach them.  Equal-time events
+    preserve schedule (seq) order by construction, so dispatch order is
+    bit-identical to :class:`HeapQueue`.
+
+    The bucket width auto-tunes to the observed gap between consecutive
+    distinct event times (an EWMA sampled every ``_SAMPLE_EVERY`` pops),
+    and the ring resizes with the pending-event count, so both the micro
+    benches (sparse, regular ticks) and the full simulator (dense
+    same-tick bursts around beacon/timeout periods) keep O(1)-ish pops.
+    """
+
+    name = "calendar"
+
+    _MIN_SLOTS = 64
+    _MAX_SLOTS = 1 << 16
+    #: Pops between gap-EWMA samples (one decrement + compare per pop).
+    _SAMPLE_EVERY = 64
+    #: Samples between geometry checks: 32 * 64 = 2048 pops.
+    _TUNE_EVERY = 32
+
+    __slots__ = (
+        "_slots",
+        "_nslots",
+        "_mask",
+        "_width",
+        "size",
+        "_ring_count",
+        "_overflow",
+        "_horizon",
+        "_floor",
+        "_cursor",
+        "_gap_ewma",
+        "_last_pop",
+        "_sample_in",
+        "_samples",
+        "_scans_mark",
+        "_requeue_seq",
+        "bucket_scans",
+        "resizes",
+    )
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        width: float = 0.005,
+        nslots: int = 256,
+    ) -> None:
+        if width <= 0:
+            raise SimulationError(f"bucket width must be positive, got {width}")
+        nslots = max(self._MIN_SLOTS, nslots)
+        if nslots & (nslots - 1):
+            raise SimulationError(f"nslots must be a power of two, got {nslots}")
+        self._width = float(width)
+        self._nslots = nslots
+        self._mask = nslots - 1
+        self._slots: List[List[_Entry]] = [[] for _ in range(nslots)]
+        #: Pending entries (ring + overflow); a plain attribute so the
+        #: dispatch loop can read it without a method call.
+        self.size = 0
+        self._ring_count = 0
+        self._overflow: List[_Entry] = []
+        #: Largest time the queue has handed out; the clock's lower bound.
+        self._floor = float(initial_time)
+        self._horizon = self._anchor(self._floor) + nslots * self._width
+        self._cursor = self._slot_of(self._floor)
+        self._gap_ewma = self._width
+        self._last_pop = self._floor
+        self._sample_in = self._SAMPLE_EVERY
+        self._samples = 0
+        self._scans_mark = 0
+        self._requeue_seq = -(1 << 62)
+        #: Ring buckets inspected while locating minima; read by the profiler.
+        self.bucket_scans = 0
+        #: Structure rebuilds (width retune / ring resize); read by the profiler.
+        self.resizes = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def _anchor(self, t: float) -> float:
+        """Start of the width-grid cell containing ``t``."""
+        return math.floor(t / self._width) * self._width
+
+    def _slot_of(self, when: float) -> int:
+        if when >= 0.0:
+            return int(when / self._width) & self._mask
+        return math.floor(when / self._width) & self._mask
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- scheduling --------------------------------------------------------
+
+    def push(self, when: float, seq: int, event: Event) -> None:
+        if when >= self._horizon:
+            heappush(self._overflow, (when, seq, event))
+        else:
+            if when >= self._floor:
+                if when >= 0.0:
+                    slot = int(when / self._width) & self._mask
+                else:
+                    slot = math.floor(when / self._width) & self._mask
+            else:
+                # Defensive: a schedule in the past (the monitor's
+                # ``kernel-schedule-in-past`` violation).  The cursor slot
+                # is scanned first, so the entry still pops as the minimum.
+                slot = self._cursor
+            self._slots[slot].append((when, seq, event))
+            self._ring_count += 1
+        self.size += 1
+
+    def peek(self) -> float:
+        """Earliest scheduled time, or +inf when idle."""
+        if self._ring_count == 0:
+            if not self._overflow:
+                return _INF
+            if not self._migrate():
+                return self._overflow[0][0]
+        # The cursor is deliberately not persisted: it may only advance when
+        # an entry is popped, else later pushes at not-yet-reached times
+        # could land in slots behind it and dispatch out of order.
+        slots = self._slots
+        cursor = self._cursor
+        scans = 1
+        while not slots[cursor]:
+            cursor = (cursor + 1) & self._mask
+            scans += 1
+        self.bucket_scans += scans
+        best = slots[cursor][0][0]
+        for entry in slots[cursor]:
+            if entry[0] < best:
+                best = entry[0]
+        return best
+
+    def _migrate(self) -> bool:
+        """Ring empty, overflow not: re-anchor the year at the clock floor.
+
+        Pulls every overflow entry inside the re-anchored year into the
+        ring.  Returns False when even the earliest overflow entry lies
+        beyond a whole year from the floor — the caller then serves it
+        straight from the heap (the far-future fallback).
+        """
+        width = self._width
+        horizon = self._anchor(self._floor) + self._nslots * width
+        self._horizon = horizon
+        self._cursor = self._slot_of(self._floor)
+        overflow = self._overflow
+        if overflow[0][0] >= horizon:
+            return False
+        slots = self._slots
+        mask = self._mask
+        moved = 0
+        while overflow and overflow[0][0] < horizon:
+            entry = heappop(overflow)
+            slots[int(entry[0] / width) & mask].append(entry)
+            moved += 1
+        self._ring_count += moved
+        return True
+
+    def pop_one(self) -> Tuple[float, Event]:
+        """Remove and return the earliest entry (FIFO within a tick)."""
+        if self._ring_count == 0:
+            if not self._migrate():
+                when, _seq, event = heappop(self._overflow)
+                self.size -= 1
+                self._floor = when
+                return when, event
+        slots = self._slots
+        cursor = self._cursor
+        entries = slots[cursor]
+        if not entries:
+            mask = self._mask
+            scans = 0
+            while True:
+                cursor = (cursor + 1) & mask
+                entries = slots[cursor]
+                scans += 1
+                if entries:
+                    break
+            self.bucket_scans += scans
+            self._cursor = cursor
+        # First-found strict minimum: in-bucket list order is seq order for
+        # equal times, so keeping the first occurrence preserves FIFO.
+        best_index = 0
+        best = entries[0]
+        for index in range(1, len(entries)):
+            entry = entries[index]
+            if entry[0] < best[0]:
+                best = entry
+                best_index = index
+        entries.pop(best_index)
+        self._ring_count -= 1
+        self.size -= 1
+        self._floor = best[0]
+        self._sample_in -= 1
+        if not self._sample_in:
+            self._gap_sample(best[0])
+        return best[0], best[2]
+
+    def pop_batch(self, limit: float = _INF) -> Optional[Tuple[float, List[Event]]]:
+        """All events at the earliest time <= ``limit``, in seq order."""
+        if self._ring_count == 0:
+            if not self._overflow:
+                return None
+            if not self._migrate():
+                return self._pop_overflow_batch(limit)
+        slots = self._slots
+        cursor = self._cursor
+        entries = slots[cursor]
+        if not entries:
+            mask = self._mask
+            scans = 0
+            while True:
+                cursor = (cursor + 1) & mask
+                entries = slots[cursor]
+                scans += 1
+                if entries:
+                    break
+            self.bucket_scans += scans
+        if len(entries) == 1:
+            when = entries[0][0]
+            if when > limit:
+                # Limit-abort: leave the cursor untouched — it may only
+                # advance when an entry is popped, else later pushes at
+                # not-yet-reached times could land in slots behind it and
+                # dispatch out of order.
+                return None
+            batch = [entries.pop()[2]]
+            count = 1
+        else:
+            when = entries[0][0]
+            for entry in entries:
+                if entry[0] < when:
+                    when = entry[0]
+            if when > limit:
+                return None
+            batch = [entry[2] for entry in entries if entry[0] == when]
+            count = len(batch)
+            if count == len(entries):
+                del entries[:]
+            else:
+                slots[cursor] = [entry for entry in entries if entry[0] != when]
+        self._cursor = cursor
+        self._ring_count -= count
+        self.size -= count
+        self._floor = when
+        self._sample_in -= 1
+        if not self._sample_in:
+            self._gap_sample(when)
+        return when, batch
+
+    def _pop_overflow_batch(self, limit: float) -> Optional[Tuple[float, List[Event]]]:
+        """Far-future fallback: serve a whole tick straight from the heap."""
+        overflow = self._overflow
+        when = overflow[0][0]
+        if when > limit:
+            return None
+        batch = [heappop(overflow)[2]]
+        while overflow and overflow[0][0] == when:
+            batch.append(heappop(overflow)[2])
+        self.size -= len(batch)
+        self._floor = when
+        self._sample_in -= 1
+        if not self._sample_in:
+            self._gap_sample(when)
+        return when, batch
+
+    def requeue(self, when: float, events: List[Event]) -> None:
+        """Put an unprocessed batch tail back at the front of its tick.
+
+        Requeued entries carry negative seq numbers and are *prepended* to
+        their bucket so they dispatch before anything scheduled at the same
+        time afterwards — exactly where they sat before the failed pop.
+        """
+        head: List[_Entry] = []
+        for event in events:
+            self._requeue_seq += 1
+            head.append((when, self._requeue_seq, event))
+        if when >= self._horizon:
+            for entry in head:
+                heappush(self._overflow, entry)
+        else:
+            slot = self._slot_of(when) if when >= self._floor else self._cursor
+            self._slots[slot][:0] = head
+            self._ring_count += len(head)
+        self.size += len(head)
+
+    # -- self-tuning -------------------------------------------------------
+
+    def _gap_sample(self, when: float) -> None:
+        """Refresh the distinct-time gap EWMA; periodically check geometry."""
+        self._sample_in = self._SAMPLE_EVERY
+        last = self._last_pop
+        if when > last:
+            gap = (when - last) / self._SAMPLE_EVERY
+            self._last_pop = when
+            self._gap_ewma += 0.25 * (gap - self._gap_ewma)
+        self._samples += 1
+        if self._samples >= self._TUNE_EVERY:
+            self._samples = 0
+            self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        """Retune width/ring size when the workload has drifted.
+
+        Two triggers: the mean bucket scan per pop grew past ~4 (width too
+        small for the observed gaps — pops walk empty buckets), or the
+        pending count outgrew the ring (buckets hold several distinct
+        times and pops degrade to linear scans of long lists).
+        """
+        pops = self._SAMPLE_EVERY * self._TUNE_EVERY
+        scans = self.bucket_scans - self._scans_mark
+        self._scans_mark = self.bucket_scans
+        mean_scans = scans / pops
+        target_width = self._gap_ewma
+        if target_width <= 0.0 or not math.isfinite(target_width):
+            target_width = self._width
+        target_width = min(max(target_width, 1e-9), 1e12)
+        width_drift = target_width / self._width
+        target_slots = self._nslots
+        while target_slots < self.size and target_slots < self._MAX_SLOTS:
+            target_slots *= 2
+        while target_slots > 4 * self.size and target_slots > self._MIN_SLOTS:
+            target_slots //= 2
+        if (
+            mean_scans <= 4.0
+            and 0.25 <= width_drift <= 4.0
+            and target_slots == self._nslots
+        ):
+            return
+        self._rebuild(target_width, target_slots)
+
+    def _rebuild(self, width: float, nslots: int) -> None:
+        """Re-bucket every pending entry under a new geometry."""
+        entries: List[_Entry] = self._overflow
+        for bucket in self._slots:
+            entries.extend(bucket)
+        entries.sort(key=_entry_order)
+        self._width = width
+        self._nslots = nslots
+        self._mask = nslots - 1
+        self._slots = [[] for _ in range(nslots)]
+        self._overflow = []
+        self._ring_count = 0
+        self.size = 0
+        self._horizon = self._anchor(self._floor) + nslots * width
+        self._cursor = self._slot_of(self._floor)
+        self._gap_ewma = width
+        for when, seq, event in entries:
+            self.push(when, seq, event)
+        self.resizes += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Queue-level work counters; read by the profiler."""
+        return {"bucket_scans": self.bucket_scans, "queue_resizes": self.resizes}
+
+
+def _entry_order(entry: _Entry) -> Tuple[float, int]:
+    return (entry[0], entry[1])
+
+
+#: Scheduler queue implementations selectable by name.
+QUEUE_IMPLEMENTATIONS: Dict[str, Any] = {
+    CalendarQueue.name: CalendarQueue,
+    HeapQueue.name: HeapQueue,
+}
+
+
+def default_queue_name() -> str:
+    """The queue implementation selected by ``REPRO_KERNEL_QUEUE``."""
+    name = os.environ.get("REPRO_KERNEL_QUEUE", "").strip().lower()
+    if not name:
+        return HeapQueue.name
+    if name not in QUEUE_IMPLEMENTATIONS:
+        raise SimulationError(
+            f"unknown REPRO_KERNEL_QUEUE {name!r}; "
+            f"pick one of {sorted(QUEUE_IMPLEMENTATIONS)}"
+        )
+    return name
+
+
+# The Timeout free list needs no explicit cap: it only grows when a popped
+# timeout has no other owner, so its length is bounded by the high-water
+# count of concurrently pending timeouts — memory the run already paid for.
+# Free-list invariants (established in the recycle passes of
+# :meth:`Environment.run`): every entry has ``callbacks == []`` (a reused
+# list object), ``_exception is None`` (Timeouts cannot fail once
+# triggered), and ``_defused is False`` (defused ones are not recycled), so
+# :meth:`Environment.timeout` only rewrites value, state, and delay.
+
+
 class Environment:
     """The simulation clock and scheduler.
 
     ``monitor`` optionally attaches a
-    :class:`~repro.check.monitor.InvariantMonitor`: every heap push and
+    :class:`~repro.check.monitor.InvariantMonitor`: every queue push and
     pop is then reported through ``on_schedule`` / ``on_step`` (event-time
-    monotonicity, heap bookkeeping).  Without a monitor the hot path pays
+    monotonicity, queue bookkeeping).  Without a monitor the hot path pays
     a single attribute test per event and behaves bit-identically.
+
+    ``queue`` picks the scheduler queue implementation by name
+    (:data:`QUEUE_IMPLEMENTATIONS`); default is ``REPRO_KERNEL_QUEUE`` or
+    the heap queue.  All implementations dispatch in identical order.
+
+    The *front register* (``_front_*``) holds the entry with the globally
+    smallest ``(when, seq)`` so the schedule-then-fire-next pattern — the
+    bulk of a sparse workload — never touches the queue.  The invariant
+    holds because ``seq`` is monotone: a new push at the same timestamp
+    always sorts behind the register and goes to the queue instead.
     """
 
-    def __init__(self, initial_time: float = 0.0, monitor: Any = None) -> None:
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_front_when",
+        "_front_seq",
+        "_front_event",
+        "events_processed",
+        "monitor",
+        "_timeout_free",
+        "freelist_hits",
+    )
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        monitor: Any = None,
+        queue: Optional[str] = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._heap: List[tuple] = []
+        name = queue if queue is not None else default_queue_name()
+        try:
+            factory = QUEUE_IMPLEMENTATIONS[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown kernel queue {name!r}; "
+                f"pick one of {sorted(QUEUE_IMPLEMENTATIONS)}"
+            ) from None
+        self._queue: Union[CalendarQueue, HeapQueue] = factory(self._now)
         self._seq = 0
-        #: Events processed (heap pops) since creation; read by the profiler.
+        self._front_when = _INF
+        self._front_seq = 0
+        self._front_event: Optional[Event] = None
+        #: Events processed (queue pops) since creation; read by the profiler.
         self.events_processed = 0
         #: Optional invariant oracle (duck-typed; see repro.check.monitor).
         self.monitor = monitor
+        #: Recycled Timeout instances (see :meth:`timeout`).
+        self._timeout_free: List[Timeout] = []
+        #: Timeouts served from the free list; read by the profiler.
+        self.freelist_hits = 0
 
     @property
     def now(self) -> float:
@@ -321,8 +882,19 @@ class Environment:
 
     @property
     def pending_events(self) -> int:
-        """Scheduled-but-unprocessed events (heap size); read by samplers."""
-        return len(self._heap)
+        """Scheduled-but-unprocessed events (queue size); read by samplers."""
+        return self._queue.size + (self._front_event is not None)
+
+    @property
+    def queue_name(self) -> str:
+        """Name of the active scheduler queue implementation."""
+        return self._queue.name
+
+    def queue_stats(self) -> Dict[str, int]:
+        """Kernel work counters (bucket scans, free-list hits, ...)."""
+        stats = dict(self._queue.stats())
+        stats["freelist_hits"] = self.freelist_hits
+        return stats
 
     # -- event factories ---------------------------------------------------
 
@@ -330,7 +902,41 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        free = self._timeout_free
+        if not free:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timeout = free.pop()
+        timeout._value = value
+        timeout._state = _TRIGGERED
+        timeout.delay = delay
+        self.freelist_hits += 1
+        seq = self._seq + 1
+        self._seq = seq
+        when = self._now + delay
+        queue = self._queue
+        if when < self._front_when:
+            front = self._front_event
+            if front is None:
+                # An empty register may only refill when the queue is empty
+                # too, else it would shadow earlier queue entries.
+                if queue.size:
+                    queue.push(when, seq, timeout)
+                else:
+                    self._front_when = when
+                    self._front_seq = seq
+                    self._front_event = timeout
+            else:
+                queue.push(self._front_when, self._front_seq, front)
+                self._front_when = when
+                self._front_seq = seq
+                self._front_event = timeout
+        else:
+            queue.push(when, seq, timeout)
+        if self.monitor is not None:
+            self.monitor.on_schedule(self, when)
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -344,21 +950,57 @@ class Environment:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
+        seq = self._seq + 1
+        self._seq = seq
         when = self._now + delay
-        heapq.heappush(self._heap, (when, self._seq, event))
+        queue = self._queue
+        if when < self._front_when:
+            front = self._front_event
+            if front is None:
+                # An empty register may only refill when the queue is empty
+                # too, else it would shadow earlier queue entries.
+                if queue.size:
+                    queue.push(when, seq, event)
+                else:
+                    self._front_when = when
+                    self._front_seq = seq
+                    self._front_event = event
+            else:
+                queue.push(self._front_when, self._front_seq, front)
+                self._front_when = when
+                self._front_seq = seq
+                self._front_event = event
+        else:
+            queue.push(when, seq, event)
         if self.monitor is not None:
             self.monitor.on_schedule(self, when)
 
+    def _flush_front(self) -> None:
+        """Push the front register back into the queue (pre-requeue)."""
+        front = self._front_event
+        if front is not None:
+            self._queue.push(self._front_when, self._front_seq, front)
+            self._front_event = None
+            self._front_when = _INF
+
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._front_event is not None:
+            return self._front_when
+        return self._queue.peek()
 
     def step(self) -> None:
         """Process the next event.  Raises SimulationError when idle."""
-        if not self._heap:
+        front = self._front_event
+        if front is not None:
+            when = self._front_when
+            event: Event = front
+            self._front_event = None
+            self._front_when = _INF
+        elif self._queue.size:
+            when, event = self._queue.pop_one()
+        else:
             raise SimulationError("step() on an empty schedule")
-        when, _seq, event = heapq.heappop(self._heap)
         if self.monitor is not None:
             self.monitor.on_step(self, when)
         self._now = when
@@ -372,9 +1014,106 @@ class Environment:
                 raise SimulationError(
                     f"run(until={until}) is in the past (now={self._now})"
                 )
-            while self._heap and self._heap[0][0] <= until:
-                self.step()
-            self._now = max(self._now, until)
+            limit = until
         else:
-            while self._heap:
+            limit = _INF
+        if self.monitor is not None:
+            # Checked path: per-event monitor hooks, no free-list recycling.
+            while self.peek() <= limit:
                 self.step()
+            if until is not None and until > self._now:
+                self._now = until
+            return
+        # Hot path: batched same-tick dispatch with hoisted lookups.  The
+        # inlined bodies below mirror Event._process; keep them in lockstep.
+        queue = self._queue
+        pop_batch = queue.pop_batch
+        free = self._timeout_free
+        getrefcount = sys.getrefcount
+        processed = self.events_processed
+        event: Event
+        try:
+            while True:
+                front = self._front_event
+                when = self._front_when
+                if front is not None and when <= limit:
+                    self._front_event = None
+                    self._front_when = _INF
+                    popped = pop_batch(when) if queue.size else None
+                    if popped is None:
+                        # Single-event lane: no batch list, no index loop.
+                        event = front  # type: ignore[assignment]
+                        self._now = when
+                        processed += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        event._state = _PROCESSED
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(event)
+                        elif event._exception is not None and not event._defused:
+                            raise event._exception
+                        if (
+                            type(event) is Timeout
+                            # Sole owner: the `front` and `event` locals plus
+                            # getrefcount's own argument.
+                            and getrefcount(event) == 3
+                            and not event._defused
+                        ):
+                            # Re-establish the free-list invariants, reusing
+                            # the emptied callbacks list (zero allocations).
+                            if callbacks:
+                                del callbacks[:]
+                            event.callbacks = callbacks
+                            free.append(event)
+                        continue
+                    batch = popped[1]
+                    batch.insert(0, front)  # type: ignore[arg-type]
+                    front = None  # drop the alias so recycling can see batch[0]
+                else:
+                    # Register empty or beyond the limit; it holds the
+                    # global minimum, so the queue cannot beat it.
+                    popped = pop_batch(limit)
+                    if popped is None:
+                        break
+                    when, batch = popped
+                self._now = when
+                index = 0
+                count = len(batch)
+                try:
+                    while index < count:
+                        event = batch[index]
+                        index += 1
+                        processed += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        event._state = _PROCESSED
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(event)
+                        elif event._exception is not None and not event._defused:
+                            raise event._exception
+                except BaseException:
+                    if index < count:
+                        # Preserve pre-batching semantics: events the
+                        # exception never reached stay scheduled.
+                        self._flush_front()
+                        queue.requeue(when, batch[index:])
+                    raise
+                for event in batch:
+                    if (
+                        type(event) is Timeout
+                        # Sole owner: the batch slot, the loop variable,
+                        # and getrefcount's argument.
+                        and getrefcount(event) == 3
+                        and not event._defused
+                    ):
+                        # Unlike the single-event lane there is no one
+                        # emptied list to reuse: each recycled timeout in
+                        # the batch needs its own callbacks container.
+                        event.callbacks = []  # simlint: allow[kernel-hot-alloc] reason=one list per recycled Timeout; still cheaper than a fresh Timeout
+                        free.append(event)
+        finally:
+            self.events_processed = processed
+        if until is not None and until > self._now:
+            self._now = until

@@ -29,7 +29,7 @@ class RunProfile:
 
     #: Wall-clock seconds from configuration build to final results.
     wall_time: float
-    #: Kernel events processed (heap pops) over the whole run.
+    #: Kernel events processed (queue pops) over the whole run.
     events: int
     #: Per-subsystem work counters, e.g. ``p2p_broadcasts``,
     #: ``snapshot_rebuilds``, ``ndp_rounds``; mostly event counts, but

@@ -28,6 +28,8 @@ class Resource:
             resource.release(grant)
     """
 
+    __slots__ = ("env", "capacity", "_users", "_queue")
+
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -89,6 +91,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO buffer of items with blocking ``get``."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

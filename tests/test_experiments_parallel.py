@@ -207,11 +207,12 @@ def test_run_profile_attached_and_excluded_from_equality():
     assert profile.wall_time > 0
     assert profile.events > 0
     assert profile.events_per_sec > 0
-    assert profile.counters["snapshot_rebuilds"] > 0
+    assert profile.counters["snapshot_refreshes"] > 0
+    assert profile.counters["snapshot_rebuilds"] == 0  # incremental fast path
     assert profile.counters["ndp_rounds"] == 0  # ndp disabled in tiny_config
     flat = profile.as_dict()
     assert flat["events"] == profile.events
-    assert "counter_snapshot_rebuilds" in flat
+    assert "counter_snapshot_refreshes" in flat
 
 
 def test_run_profile_counts_network_traffic():

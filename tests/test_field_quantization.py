@@ -47,23 +47,25 @@ def test_quantised_positions_within_speed_bound(t, seed):
 def test_quantisation_bucket_shares_snapshot():
     _, quantised = build_fields(3)
     a = quantised.positions(10.01)
-    rebuilds = quantised.snapshot_rebuilds
+    refreshes = quantised.snapshot_refreshes
+    reuses = quantised.snapshot_reuses
     b = quantised.positions(10.09)
-    assert a is b  # same 0.1 s bucket: cached, no rebuild
-    assert quantised.snapshot_rebuilds == rebuilds
+    assert a is b  # same 0.1 s bucket: cached, no refresh
+    assert quantised.snapshot_refreshes == refreshes
+    assert quantised.snapshot_reuses == reuses + 1
     values_before = a.copy()
     quantised.positions(10.11)
     # Next bucket: the preallocated buffer is refilled in place.
-    assert quantised.snapshot_rebuilds == rebuilds + 1
+    assert quantised.snapshot_refreshes == refreshes + 1
     assert (quantised.positions(10.11) != values_before).any()
 
 
 def test_zero_resolution_is_exact():
     exact, _ = build_fields(4)
     exact.positions(1.23456)
-    rebuilds = exact.snapshot_rebuilds
+    refreshes = exact.snapshot_refreshes
     exact.positions(1.23457)
-    assert exact.snapshot_rebuilds == rebuilds + 1  # every instant is fresh
+    assert exact.snapshot_refreshes == refreshes + 1  # every instant is fresh
 
 
 def test_negative_resolution_rejected():

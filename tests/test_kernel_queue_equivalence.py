@@ -1,0 +1,184 @@
+"""Every scheduler queue implementation must dispatch identically.
+
+The kernel treats :class:`~repro.sim.kernel.HeapQueue` as the bit-identity
+oracle; these tests pin the contract three ways:
+
+* property tests drive :class:`~repro.sim.kernel.CalendarQueue` and the
+  heap through identical operation sequences (pushes with same-tick
+  bursts, single pops, batched pops with limits, requeues) and demand
+  identical observable behaviour at every step;
+* whole-environment property tests run one randomly generated scenario —
+  timeout bursts, process interrupts, defused failures — once per queue
+  implementation and compare the full dispatch trace;
+* the committed golden fixtures must replay without drift under *every*
+  queue implementation, not just the default.
+"""
+
+import shutil
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.check import golden
+from repro.sim.kernel import (
+    QUEUE_IMPLEMENTATIONS,
+    CalendarQueue,
+    Environment,
+    HeapQueue,
+    Interrupt,
+)
+
+GOLDEN_FIXTURES = Path(__file__).parent / "golden"
+
+# Few distinct delays -> frequent same-tick collisions; the large values
+# land in the calendar's overflow heap and exercise migration.
+_DELAYS = st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 7.75, 64.0, 1000.0])
+
+_OPS = st.one_of(
+    st.tuples(st.just("push"), _DELAYS, st.integers(min_value=1, max_value=4)),
+    st.tuples(st.just("pop_one")),
+    st.tuples(st.just("pop_batch"), _DELAYS),
+    st.tuples(st.just("requeue"), st.integers(min_value=0, max_value=3)),
+)
+
+
+@given(st.lists(_OPS, max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_calendar_matches_heap_on_any_operation_sequence(ops):
+    """Lock-step op replay: both queues agree on every observable."""
+    calendar = CalendarQueue()
+    heap = HeapQueue()
+    seq = 0
+    token = 0
+    now = 0.0  # the kernel never pushes into the past
+    for op in ops:
+        kind = op[0]
+        assert len(calendar) == len(heap)
+        assert calendar.peek() == heap.peek()
+        if kind == "push":
+            _, delay, count = op
+            for _ in range(count):
+                when = now + delay
+                calendar.push(when, seq, token)
+                heap.push(when, seq, token)
+                seq += 1
+                token += 1
+        elif kind == "pop_one":
+            if not len(heap):
+                continue
+            got_c = calendar.pop_one()
+            got_h = heap.pop_one()
+            assert got_c == got_h
+            now = got_h[0]
+        elif kind == "pop_batch":
+            limit = now + op[1]
+            got_c = calendar.pop_batch(limit)
+            got_h = heap.pop_batch(limit)
+            assert got_c == got_h
+            if got_h is not None:
+                now = got_h[0]
+        else:  # requeue: pop a batch, put an unprocessed tail back
+            keep = op[1]
+            got_c = calendar.pop_batch()
+            got_h = heap.pop_batch()
+            assert got_c == got_h
+            if got_h is None:
+                continue
+            when, batch = got_h
+            now = when
+            tail = batch[len(batch) - keep :] if keep else []
+            if tail:
+                calendar.requeue(when, list(tail))
+                heap.requeue(when, list(tail))
+    while len(heap):
+        assert calendar.pop_one() == heap.pop_one()
+    assert calendar.pop_batch() is None and heap.pop_batch() is None
+    assert calendar.peek() == heap.peek() == float("inf")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            _DELAYS,  # spawn delay of this process
+            st.integers(min_value=1, max_value=3),  # same-tick timeout burst
+            st.booleans(),  # victim of an interrupt?
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.lists(_DELAYS, max_size=4),  # interrupt instants
+)
+@settings(max_examples=60, deadline=None)
+def test_environments_dispatch_identically_on_every_queue(specs, hits):
+    """Same scenario, one full dispatch trace per queue implementation."""
+
+    def run_with(queue_name):
+        env = Environment(queue=queue_name)
+        trace = []
+        victims = []
+
+        def worker(tag, start, burst):
+            try:
+                yield env.timeout(start)
+                for round_no in range(5):
+                    burst_events = [
+                        env.timeout(1.0, value=(tag, round_no, i))
+                        for i in range(burst)
+                    ]
+                    for event in burst_events:
+                        value = yield event
+                        trace.append(("fired", env.now, value))
+            except Interrupt as interrupt:
+                trace.append(("interrupted", env.now, tag, interrupt.cause))
+
+        def failing(tag):
+            # A triggered-then-defused failure exercises the error lane of
+            # the batch dispatcher without killing the run.
+            event = env.event()
+            event.fail(RuntimeError(f"boom-{tag}"))
+            event.defuse()
+            yield env.timeout(0.0)
+            trace.append(("survived", env.now, tag))
+
+        def sniper():
+            for shot, at in enumerate(sorted(hits)):
+                yield env.timeout(max(0.0, at - env.now))
+                for victim in victims:
+                    if victim.is_alive:
+                        victim.interrupt(cause=shot)
+                        trace.append(("shot", env.now, shot))
+                        break
+
+        for tag, (start, burst, interruptible) in enumerate(specs):
+            process = env.process(worker(tag, start, burst))
+            if interruptible:
+                victims.append(process)
+            env.process(failing(tag))
+        if hits:
+            env.process(sniper())
+        env.run(until=50.0)
+        return trace, env.now, env.events_processed
+
+    runs = {name: run_with(name) for name in sorted(QUEUE_IMPLEMENTATIONS)}
+    reference = runs["heap"]
+    for name, run in runs.items():
+        assert run[0] == reference[0], f"{name} trace diverged from heap"
+        assert run[1] == reference[1]
+        assert run[2] == reference[2]
+
+
+@pytest.mark.parametrize("queue_name", sorted(QUEUE_IMPLEMENTATIONS))
+def test_golden_fixture_replays_bit_identical_on_queue(
+    queue_name, tmp_path, monkeypatch
+):
+    """The committed fixtures hold under every queue implementation.
+
+    One representative fixture per queue keeps the runtime bounded; the
+    full set replays on the default queue in test_golden_traces.  The GC
+    case is the richest (TCG + signatures + NDP traffic).
+    """
+    shutil.copy(GOLDEN_FIXTURES / "gc-small.json", tmp_path / "gc-small.json")
+    monkeypatch.setenv("REPRO_KERNEL_QUEUE", queue_name)
+    assert golden.verify(tmp_path) == {"gc-small": []}

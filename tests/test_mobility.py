@@ -233,11 +233,11 @@ def test_field_positions_shape_and_cache():
     field = grid_field()
     a = field.positions(1.0)
     assert a.shape == (4, 2)
-    rebuilds = field.snapshot_rebuilds
+    refreshes = field.snapshot_refreshes
     assert field.positions(1.0) is a  # cached
-    assert field.snapshot_rebuilds == rebuilds
+    assert field.snapshot_refreshes == refreshes
     field.positions(2.0)
-    assert field.snapshot_rebuilds == rebuilds + 1  # refilled in place
+    assert field.snapshot_refreshes == refreshes + 1  # refilled in place
 
 
 def test_field_distance():
@@ -286,3 +286,62 @@ def test_field_neighbor_symmetry_random():
 def test_field_requires_trajectories():
     with pytest.raises(ValueError):
         MobilityField([])
+
+
+# -- vectorised snapshot bit-identity --------------------------------------
+
+
+class _OpaqueTrajectory:
+    """Hides the concrete type so the field takes the scalar fallback."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def position(self, t):
+        return self._inner.position(t)
+
+
+def _paired_fields(seed, group_size, resolution):
+    """Two same-seeded fields: one vectorised, one forced onto the fallback."""
+    fast, _ = build_group_mobility(
+        rng(seed), 12, group_size, AREA, 1.0, 5.0, resolution=resolution
+    )
+    slow, _ = build_group_mobility(
+        rng(seed), 12, group_size, AREA, 1.0, 5.0, resolution=resolution
+    )
+    slow = MobilityField(
+        [_OpaqueTrajectory(t) for t in slow.trajectories], resolution=resolution
+    )
+    assert fast._fast and not slow._fast
+    return fast, slow
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from([1, 3, 4]),
+    st.sampled_from([0.0, 0.1, 1.0]),
+    st.lists(
+        st.floats(min_value=0.0, max_value=400.0), min_size=1, max_size=25
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_vectorised_snapshots_are_bitwise_identical_to_scalar(
+    seed, group_size, resolution, times
+):
+    """The incremental fast path is a pure optimisation: every coordinate,
+    including signed zeros, matches the per-host scalar rebuild bit for
+    bit, and the shared RNG stream sees identical draws."""
+    fast, slow = _paired_fields(seed, group_size, resolution)
+    for t in sorted(times):
+        a = fast.positions(t)
+        b = slow.positions(t)
+        assert a.tobytes() == b.tobytes(), f"snapshot diverged at t={t}"
+    assert fast.snapshot_rebuilds == 0
+    assert slow.snapshot_refreshes == 0
+
+
+def test_vectorised_snapshot_handles_backward_queries_bitwise():
+    """Out-of-order queries (cache-busting replays) still match exactly."""
+    fast, slow = _paired_fields(7, 4, 0.1)
+    for t in [0.0, 120.0, 30.0, 120.0, 0.05, 400.0, 399.95]:
+        assert fast.positions(t).tobytes() == slow.positions(t).tobytes()

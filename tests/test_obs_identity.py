@@ -30,7 +30,7 @@ def test_untraced_runs_match_committed_goldens(name):
     fixture = _fixture(name)
     results = run_simulation(golden.GOLDEN_CASES[name])
     diffs = golden.diff_fixture(
-        fixture["results"], golden.results_to_dict(results)
+        golden.fixture_results(fixture), golden.results_to_dict(results)
     )
     assert diffs == [], "\n".join(diffs)
 
@@ -43,7 +43,7 @@ def test_tracer_alone_is_invisible_even_to_the_profiler(name):
     observer = Observer(sample_period=None)
     results = run_simulation(golden.GOLDEN_CASES[name], observer=observer)
     diffs = golden.diff_fixture(
-        fixture["results"], golden.results_to_dict(results)
+        golden.fixture_results(fixture), golden.results_to_dict(results)
     )
     assert diffs == [], "\n".join(diffs)
     assert observer.tracer.events, "the tracer recorded nothing"
@@ -64,6 +64,7 @@ def test_sampled_runs_change_no_results_field(name):
     assert diffs == [], "\n".join(diffs)
     # The sampler's own events are the *only* profile drift: the
     # per-subsystem work counters still match exactly.
-    assert profile["counters"] == fixture["results"]["profile"]["counters"]
+    semantic = golden.fixture_results(fixture)["profile"]["counters"]
+    assert profile["counters"] == semantic
     assert observer.sampler is not None
     assert len(observer.sampler.series("t")) > 0

@@ -161,3 +161,34 @@ def test_rules_have_descriptions_and_hints():
         assert rule.id
         assert rule.description
         assert rule.hint
+
+
+HOT_ALLOC_MARKS = [
+    "MARK:kernel-hot-alloc-display",
+    "MARK:kernel-hot-alloc-call",
+    "MARK:kernel-hot-alloc-comp",
+]
+
+
+@pytest.mark.parametrize("marker", HOT_ALLOC_MARKS)
+def test_hot_alloc_rule_catches_dispatch_loop_allocations(marker):
+    findings = findings_for("kernel_violations.py")
+    line = marker_line("kernel_violations.py", marker)
+    assert any(
+        f.rule == "kernel-hot-alloc" and f.line == line for f in findings
+    ), f"kernel-hot-alloc not reported at line {line}: {findings}"
+
+
+def test_hot_alloc_rule_spares_non_dispatch_code_and_honors_pragmas():
+    findings = [
+        f for f in findings_for("kernel_violations.py")
+        if f.rule == "kernel-hot-alloc"
+    ]
+    flagged_lines = {f.line for f in findings}
+    hoisted = marker_line("kernel_violations.py", "hoisted = []")
+    escaped = marker_line("kernel_violations.py", "reason=fixture shows")
+    quiet = marker_line("kernel_violations.py", "dict(a=1)")
+    assert hoisted not in flagged_lines  # allocation outside any loop
+    assert escaped not in flagged_lines  # pragma suppression works
+    assert quiet not in flagged_lines  # methods other than run/step
+    assert len(findings) == len(HOT_ALLOC_MARKS)

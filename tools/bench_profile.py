@@ -35,6 +35,27 @@ MICRO_SUITES = [
     "benchmarks/test_micro_signatures.py",
 ]
 
+#: Rounds per micro bench: the sims are deterministic, so multiple rounds
+#: exist purely to measure machine noise — the recorded stddev is real.
+MICRO_ROUNDS = 5
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
 
 def run_micro_benchmarks() -> list:
     """Run the micro suites under pytest-benchmark; return per-bench stats."""
@@ -52,7 +73,11 @@ def run_micro_benchmarks() -> list:
         completed = subprocess.run(
             command,
             cwd=ROOT,
-            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONPATH": str(ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+                "REPRO_BENCH_ROUNDS": str(MICRO_ROUNDS),
+            },
             capture_output=True,
             text=True,
         )
@@ -73,8 +98,15 @@ def run_micro_benchmarks() -> list:
     ]
 
 
-def run_profiled_sweep(figure: str, jobs: int) -> dict:
-    """Run one quick-scale figure sweep in-process and collect run profiles."""
+def run_profiled_sweep(figure: str, jobs: int, rounds: int = 3) -> dict:
+    """Run one quick-scale figure sweep in-process and collect run profiles.
+
+    The sweep is executed ``rounds`` times and each (scheme, value) point
+    keeps its *fastest* wall-clock observation: simulated outcomes are
+    deterministic, so min-of-N is the standard way to strip scheduler and
+    container timing noise (observed at ±30% on shared machines) from the
+    recorded throughput.
+    """
     import os
 
     os.environ["REPRO_PROFILE"] = "quick"
@@ -83,22 +115,29 @@ def run_profiled_sweep(figure: str, jobs: int) -> dict:
     from repro.experiments import sweeps
 
     sweep_name, _ = FIGURES[figure]
-    table = getattr(sweeps, sweep_name)(jobs=jobs)
-    runs = []
-    for scheme, results in sorted(table.rows.items()):
-        for value, result in zip(table.values, results):
-            profile = result.profile
-            if profile is None:
-                continue
-            entry = {
-                "scheme": scheme,
-                table.parameter: value,
-                "wall_time_s": profile.wall_time,
-                "events": profile.events,
-                "events_per_sec": profile.events_per_sec,
-            }
-            entry.update(profile.counters)
-            runs.append(entry)
+    best: dict = {}
+    table = None
+    for _ in range(max(1, rounds)):
+        table = getattr(sweeps, sweep_name)(jobs=jobs)
+        for scheme, results in sorted(table.rows.items()):
+            for value, result in zip(table.values, results):
+                profile = result.profile
+                if profile is None:
+                    continue
+                key = (scheme, value)
+                held = best.get(key)
+                if held is not None and held["wall_time_s"] <= profile.wall_time:
+                    continue
+                entry = {
+                    "scheme": scheme,
+                    table.parameter: value,
+                    "wall_time_s": profile.wall_time,
+                    "events": profile.events,
+                    "events_per_sec": profile.events_per_sec,
+                }
+                entry.update(profile.counters)
+                best[key] = entry
+    runs = [best[key] for key in sorted(best)]
     total_wall = sum(run["wall_time_s"] for run in runs)
     total_events = sum(run["events"] for run in runs)
     return {
@@ -106,6 +145,7 @@ def run_profiled_sweep(figure: str, jobs: int) -> dict:
         "parameter": table.parameter,
         "scale": "quick",
         "jobs": jobs,
+        "rounds": max(1, rounds),
         "runs": runs,
         "total_wall_time_s": total_wall,
         "total_events": total_events,
@@ -128,15 +168,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
     parser.add_argument(
+        "--sweep-rounds",
+        type=int,
+        default=3,
+        help="sweep repetitions; each point keeps its fastest observation",
+    )
+    parser.add_argument(
         "--skip-micro", action="store_true", help="skip the pytest micro suites"
     )
     args = parser.parse_args(argv)
 
+    from repro.sim.kernel import default_queue_name
+
     snapshot = {
         "date": datetime.date.today().isoformat(),
         "python": sys.version.split()[0],
+        "git_rev": git_revision(),
+        "kernel_queue": default_queue_name(),
         "micro": [] if args.skip_micro else run_micro_benchmarks(),
-        "sweep": run_profiled_sweep(args.figure, args.jobs),
+        "sweep": run_profiled_sweep(args.figure, args.jobs, args.sweep_rounds),
     }
     target = ROOT / "results" / f"BENCH_{snapshot['date']}.json"
     target.write_text(json.dumps(snapshot, indent=2) + "\n")
