@@ -1,0 +1,139 @@
+"""Retry-discipline rule.
+
+A retry loop must be bounded: either it iterates over an explicit attempt
+range (``for attempt in range(1 + limit)``) or its body consults a budget
+— an attempt counter, a deadline, remaining time.  An unbounded
+``while True`` retry loop that just grows its backoff turns one stuck
+dependency into a stuck host, and in a DES it silently stops simulated
+time from terminating.
+
+* ``unbounded-retry`` — a constant-condition ``while`` loop that grows a
+  backoff/delay variable without any attempt-count or deadline evidence
+  in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.engine import LintRule, LintViolation, ModuleSource, register
+
+__all__ = ["UnboundedRetryRule"]
+
+#: Variable-name fragments that mark a retry sleep/backoff quantity.
+_BACKOFF_FRAGMENTS = ("backoff", "delay", "pause", "sleep", "wait")
+
+#: Variable-name fragments that count as bound evidence when compared.
+_BOUND_FRAGMENTS = (
+    "attempt",
+    "budget",
+    "count",
+    "deadline",
+    "limit",
+    "remaining",
+    "retries",
+    "retry",
+    "tries",
+)
+
+
+def _own_nodes(function: ast.AST) -> Iterator[ast.AST]:
+    """Walk a node's body without descending into nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """``while True`` / ``while 1`` — a loop with no terminating test."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_backoff_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        return False
+    return any(fragment in name for fragment in _BACKOFF_FRAGMENTS)
+
+
+def _grows_backoff(node: ast.AST) -> bool:
+    """``backoff *= k`` / ``backoff += k`` / ``backoff = backoff * k``."""
+    if isinstance(node, ast.AugAssign):
+        return isinstance(node.op, (ast.Mult, ast.Add)) and _is_backoff_name(
+            node.target
+        )
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+        value = node.value
+        if not (_is_backoff_name(target) and isinstance(value, ast.BinOp)):
+            return False
+        if not isinstance(value.op, (ast.Mult, ast.Add)):
+            return False
+        return _is_backoff_name(value.left) or _is_backoff_name(value.right)
+    return False
+
+
+def _is_bound_operand(node: ast.expr) -> bool:
+    """An operand that reads like attempt-count or deadline evidence."""
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True  # compares against the simulated clock: a deadline
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        return False
+    return any(fragment in name for fragment in _BOUND_FRAGMENTS)
+
+
+def _has_bound_evidence(loop: ast.While) -> bool:
+    for node in _own_nodes(loop):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            if any(_is_bound_operand(operand) for operand in operands):
+                return True
+        elif isinstance(node, ast.Raise):
+            return True  # the loop can refuse instead of spinning
+    return False
+
+
+@register
+class UnboundedRetryRule(LintRule):
+    """Retry loops need an attempt bound or a deadline check."""
+
+    id = "unbounded-retry"
+    description = (
+        "a while-True loop that grows a backoff/delay without consulting "
+        "an attempt counter or deadline retries forever; one permanently "
+        "failing dependency then wedges the whole host"
+    )
+    hint = (
+        "iterate over range(1 + retry_limit), or compare an attempt "
+        "counter / deadline inside the loop body"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_constant_true(node.test):
+                continue
+            if not any(_grows_backoff(child) for child in _own_nodes(node)):
+                continue
+            if _has_bound_evidence(node):
+                continue
+            yield self.violation(
+                module,
+                node,
+                "retry loop grows its backoff but never checks an attempt "
+                "bound or deadline",
+            )

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.metrics import RequestOutcome
+from repro.net.health import CLOSED, LEGAL_TRANSITIONS, OPEN
 
 __all__ = [
     "InvariantMonitor",
@@ -97,6 +98,9 @@ class MonitorReport:
     searches_opened: int = 0
     searches_closed: int = 0
     search_outcomes: Dict[str, int] = field(default_factory=dict)
+    # Failure-aware retrieve accounting (zero when the layer is off).
+    hedges: int = 0
+    hedge_wins: int = 0
 
     @property
     def ok(self) -> bool:
@@ -145,6 +149,11 @@ class InvariantMonitor:
         self.searches_closed = 0
         self.search_outcomes: Dict[str, int] = {o: 0 for o in SEARCH_OUTCOMES}
         self._open_searches: Dict[int, Tuple[int, int]] = {}  # host -> sid
+        # Failure-aware retrieve bookkeeping: last seen breaker state per
+        # (host, peer) pair, plus hedge conservation counters.
+        self._breaker_states: Dict[Tuple[int, int], str] = {}
+        self.hedges = 0
+        self.hedge_wins = 0
         # Kernel heap bookkeeping.
         self._scheduled = 0
         self._stepped = 0
@@ -187,6 +196,8 @@ class InvariantMonitor:
             searches_opened=self.searches_opened,
             searches_closed=self.searches_closed,
             search_outcomes=dict(self.search_outcomes),
+            hedges=self.hedges,
+            hedge_wins=self.hedge_wins,
         )
 
     # -- kernel hooks -----------------------------------------------------------
@@ -264,6 +275,66 @@ class InvariantMonitor:
                 sim_time=now,
                 host=host,
             )
+
+    # -- failure-aware retrieve hooks --------------------------------------------
+
+    def on_retrieve_attempt(
+        self, host: int, peer: int, breaker_state: str, now: float
+    ) -> None:
+        """A retrieve was sent; the peer's breaker must not be open."""
+        self.checks_run += 1
+        if breaker_state == OPEN:
+            self.violation(
+                "breaker-attempt-while-open",
+                f"retrieve sent to peer {peer} while its breaker is open",
+                sim_time=now,
+                host=host,
+                details={"peer": peer},
+            )
+
+    def on_breaker_transition(
+        self, host: int, peer: int, old: str, new: str, now: float
+    ) -> None:
+        """One breaker edge: legal, and continuous with the last one seen."""
+        self.checks_run += 1
+        if (old, new) not in LEGAL_TRANSITIONS:
+            self.violation(
+                "breaker-illegal-transition",
+                f"breaker for peer {peer} moved {old!r} -> {new!r}",
+                sim_time=now,
+                host=host,
+                details={"peer": peer, "old": old, "new": new},
+            )
+        key = (host, peer)
+        last = self._breaker_states.get(key, CLOSED)
+        if old != last:
+            self.violation(
+                "breaker-chain-broken",
+                f"breaker for peer {peer} left {old!r} but was last seen "
+                f"in {last!r}",
+                sim_time=now,
+                host=host,
+                details={"peer": peer, "old": old, "last": last},
+            )
+        self._breaker_states[key] = new
+
+    def on_hedge(self, host: int, sid: Any, now: float) -> None:
+        """A hedged retrieve went out; it must belong to the open search."""
+        self.checks_run += 1
+        self.hedges += 1
+        if self._open_searches.get(host) != sid:
+            self.violation(
+                "hedge-outside-search",
+                f"hedge for search {sid} but host's open search is "
+                f"{self._open_searches.get(host)}",
+                sim_time=now,
+                host=host,
+            )
+
+    def on_hedge_win(self, host: int, sid: Any, now: float) -> None:
+        """The hedged request served the data first."""
+        self.checks_run += 1
+        self.hedge_wins += 1
 
     def check_client_cache(self, host: int, cache: Any, now: float) -> None:
         """Cache occupancy ≤ capacity and key/entry integrity."""
@@ -507,5 +578,13 @@ class InvariantMonitor:
             self.violation(
                 "search-conservation",
                 "closed searches and recorded outcomes disagree",
+                sim_time=simulation.env.now,
+            )
+        self.checks_run += 1
+        if self.hedge_wins > self.hedges:
+            self.violation(
+                "hedge-conservation",
+                f"{self.hedge_wins} hedge wins but only {self.hedges} "
+                "hedges were sent",
                 sim_time=simulation.env.now,
             )

@@ -46,6 +46,10 @@ FIGURES = {
     "fig7": ("sweep_n_clients", "effect of number of MHs"),
     "fig8": ("sweep_disconnection", "effect of disconnection probability"),
     "fig-loss": ("sweep_link_loss", "effect of wireless message loss"),
+    "fig-policy": (
+        "sweep_peer_policy",
+        "retrieve scoring policy x P2P fault rate",
+    ),
 }
 
 

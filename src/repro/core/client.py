@@ -30,6 +30,7 @@ from repro.core.server import MobileSupportStation
 from repro.core.signatures_proto import MembershipActions, SignatureAgent
 from repro.data.workload import AccessPattern
 from repro.net.channel import ServerChannel
+from repro.net.health import PeerHealthTracker
 from repro.net.message import Message, MessageKind, MessageSizes
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
@@ -42,6 +43,13 @@ __all__ = ["MobileHost"]
 _POSITION_BYTES = 2
 #: Upper bound on remembered peer-access history for explicit updates.
 _HISTORY_CAP = 200
+
+#: Tracer instant + metrics kind per circuit-breaker transition target.
+_BREAKER_NOTES = {
+    "open": ("breaker-open", "breaker_trip"),
+    "half-open": ("breaker-probe", "breaker_probe"),
+    "closed": ("breaker-close", None),
+}
 
 
 @dataclass
@@ -76,6 +84,8 @@ class MobileHost:
         ndp: Optional[NeighborDiscovery] = None,
         monitor=None,
         tracer=None,
+        health: Optional[PeerHealthTracker] = None,
+        jitter_rng: Optional[np.random.Generator] = None,
     ):
         self.index = index
         self.env = env
@@ -93,6 +103,13 @@ class MobileHost:
         #: Optional span tracer (see repro.obs.tracer); every call site is
         #: behind an ``is None`` guard so untraced runs are bit-identical.
         self._tracer = tracer
+        #: Optional failure-aware retrieve layer (see repro.net.health);
+        #: ``None`` keeps the legacy arrival-order retrieve path, branch
+        #: for branch, so health-off runs replay the goldens exactly.
+        self.health = health
+        #: Optional shared "retry-jitter" stream; ``None`` (retry_jitter=0)
+        #: keeps every backoff delay exactly as recorded.
+        self._jitter_rng = jitter_rng
         self._req_seq = 0
         self._req_span = -1
         self.cache = LRUCache(config.cache_size)
@@ -368,18 +385,44 @@ class MobileHost:
         from_tcg = signatures is not None and serving_peer in signatures.members
         return data, from_tcg
 
+    def _select_replier(self, state: _SearchState, tried: set) -> Optional[dict]:
+        """The next retrieve target among the untried repliers.
+
+        Without the health layer this is the legacy arrival-order pick;
+        with it, candidates are ranked by the configured scoring policy
+        after circuit-broken peers are filtered out (``None`` when every
+        untried replier is broken — the caller falls back to the MSS
+        instead of timing out against a known-dead peer).
+        """
+        candidates = [r for r in state.replies if r["peer"] not in tried]
+        if not candidates:
+            return None
+        if self.health is None:
+            return candidates[0]
+        return self.health.select(candidates, self.env.now)
+
     def _retrieve_with_fallback(self, sid, state: _SearchState, reply: dict):
         """Retrieve from the chosen peer, falling over to other repliers.
 
         Bounded by ``retrieve_retry_limit``: a failed retrieve (lost
         message, peer moved away or crashed) backs off exponentially and
-        targets the next reply not yet tried; when no untried target is
-        left the caller falls back to the MSS.  Returns ``(data payload,
-        serving peer)`` or ``None``.
+        targets the next untried reply — arrival order, or the scoring
+        policy's pick when the health layer is active.  With a
+        ``retrieve_deadline`` the per-query budget is checked before every
+        retry so a string of slow failures cannot stall the request loop.
+        When no untried target is left the caller falls back to the MSS.
+        Returns ``(data payload, serving peer)`` or ``None``.
         """
         attempts = 1 + self.config.retrieve_retry_limit
         backoff = self.config.retry_backoff_base
+        deadline = self.config.retrieve_deadline
+        health = self.health
         tried = set()
+        if health is not None:
+            chosen = self._select_replier(state, tried)
+            if chosen is None:
+                return None  # every replier circuit-broken: straight to MSS
+            reply = chosen
         span = -1
         if self._tracer is not None:
             span = self._tracer.begin(
@@ -387,18 +430,36 @@ class MobileHost:
             )
         for attempt in range(attempts):
             tried.add(reply["peer"])
-            data = yield from self._retrieve(sid, state, reply)
+            data = yield from self._retrieve(sid, state, reply, tried, span)
             if data is not None:
+                serving = (
+                    data.get("peer", reply["peer"])
+                    if health is not None
+                    else reply["peer"]
+                )
                 if span >= 0:
                     self._tracer.end(
-                        span, status="ok", peer=reply["peer"], attempts=attempt + 1
+                        span, status="ok", peer=serving, attempts=attempt + 1
                     )
-                return data, reply["peer"]
+                return data, serving
             if attempt + 1 >= attempts:
                 break
-            fallback = next(
-                (r for r in state.replies if r["peer"] not in tried), None
-            )
+            if (
+                health is not None
+                and deadline > 0.0
+                and self.env.now - state.started >= deadline
+            ):
+                health.note("budget_exhausted")
+                self.metrics.record_health("budget_exhausted")
+                if span >= 0:
+                    self._tracer.instant(
+                        "budget-exhausted",
+                        host=self.index,
+                        parent=span,
+                        recorded=self.metrics.recording,
+                    )
+                break
+            fallback = self._select_replier(state, tried)
             if fallback is None:
                 break
             self.metrics.record_retry("retrieve")
@@ -410,14 +471,14 @@ class MobileHost:
                     peer=fallback["peer"],
                     recorded=self.metrics.recording,
                 )
-            yield self.env.timeout(backoff)
+            yield self.env.timeout(self._backoff_delay(backoff))
             backoff *= 2.0
             reply = fallback
         if span >= 0:
             self._tracer.end(span, status="failed", attempts=attempt + 1)
         return None
 
-    def _retrieve(self, sid, state: _SearchState, reply: dict):
+    def _retrieve(self, sid, state: _SearchState, reply: dict, tried: set, span: int = -1):
         """Send retrieve to the target peer and await the data item."""
         state.data_event = self.env.event()
         path = reply["path"]  # origin ... peer
@@ -431,16 +492,245 @@ class MobileHost:
         )
         if len(path) < 2:
             return None
+        health = self.health
+        if health is not None:
+            self._note_attempt(reply["peer"], span)
         sent = yield from self.network.unicast_route(list(path), message)
         if not sent:
+            if health is not None:
+                self._note_retrieve_failure(reply["peer"], span)
             return None
         hops = len(path) - 1
         guard = 4.0 * hops * self.network.tx_time(self.sizes.data_message())
         guard += self.timeout.current()
-        fired = yield self.env.any_of([state.data_event, self.env.timeout(guard)])
-        if state.data_event not in fired:
+        if health is None:
+            fired = yield self.env.any_of(
+                [state.data_event, self.env.timeout(guard)]
+            )
+            if state.data_event not in fired:
+                return None
+            return state.data_event.value
+        payload = yield from self._guarded_wait(sid, state, reply, tried, span, guard)
+        return payload
+
+    # ------------------------------------------------- failure-aware retrieve
+
+    def _guarded_wait(
+        self,
+        sid,
+        state: _SearchState,
+        reply: dict,
+        tried: set,
+        span: int,
+        guard: float,
+    ):
+        """Health-layer DATA wait: crash watch plus an optional hedge.
+
+        Replaces the plain ``any_of([data, timeout])`` wait when the
+        health layer is active.  With ``crash_failover`` the wait also
+        races the serving peer's down-transition, failing over the moment
+        the crash daemon (or a graceful disconnect) takes it off the air
+        instead of burning the full data guard.  With ``hedge_quantile``
+        a second retrieve goes to the next-best healthy replier once the
+        first exceeds that quantile of its EWMA latency; the first DATA
+        back wins and the loser is released without a failure penalty.
+        """
+        env = self.env
+        health = self.health
+        config = self.config
+        peer = reply["peer"]
+        sent_times = {peer: env.now}
+        hops = {peer: len(reply["path"]) - 1}
+        deadline_t = env.now + guard
+        watch = None
+        if config.crash_failover:
+            watch = env.event()
+            self.network.watch_down(peer, watch)
+        hedge_at = None
+        if config.hedge_quantile > 0.0:
+            delay = health.hedge_delay(peer, config.hedge_quantile)
+            if delay is not None:
+                hedge_at = env.now + delay
+        hedged = False
+        hedge_peer: Optional[int] = None
+        try:
+            while True:
+                if state.data_event.triggered:
+                    payload = state.data_event.value
+                    serving = payload.get("peer", peer)
+                    latency = env.now - sent_times.get(serving, sent_times[peer])
+                    self._note_retrieve_success(
+                        sid,
+                        serving,
+                        latency,
+                        hops.get(serving, hops[peer]),
+                        hedge_peer,
+                        span,
+                    )
+                    for other in sent_times:
+                        if other != serving:
+                            health.note_abandoned(other)
+                    return payload
+                if watch is not None and watch.triggered and not hedged:
+                    # The serving peer dropped off the air between replying
+                    # and serving: fail over right now instead of waiting
+                    # out the guard (with a hedge in flight the race keeps
+                    # running — the hedge peer can still serve).
+                    health.note("fast_failovers")
+                    self.metrics.record_health("fast_failover")
+                    if span >= 0:
+                        self._tracer.instant(
+                            "fast-failover",
+                            host=self.index,
+                            parent=span,
+                            peer=peer,
+                            recorded=self.metrics.recording,
+                        )
+                    self._note_retrieve_failure(peer, span)
+                    return None
+                now = env.now
+                remaining = deadline_t - now
+                if remaining <= 1e-12:
+                    break
+                target = deadline_t
+                if hedge_at is not None and not hedged:
+                    target = min(target, hedge_at)
+                waits = [state.data_event, env.timeout(max(0.0, target - now))]
+                if watch is not None and not watch.triggered:
+                    waits.append(watch)
+                yield env.any_of(waits)
+                if (
+                    hedge_at is not None
+                    and not hedged
+                    and env.now >= hedge_at - 1e-12
+                    and not state.data_event.triggered
+                ):
+                    hedged = True  # one hedge opportunity per retrieve
+                    hedge = self._select_replier(state, tried)
+                    if hedge is not None:
+                        sent = yield from self._send_hedge(
+                            sid, state, hedge, tried, span
+                        )
+                        if sent:
+                            hedge_peer = hedge["peer"]
+                            sent_times[hedge_peer] = env.now
+                            hops[hedge_peer] = len(hedge["path"]) - 1
+            # Guard exhausted with no DATA: every outstanding target failed.
+            for target_peer in sent_times:
+                self._note_retrieve_failure(target_peer, span)
             return None
-        return state.data_event.value
+        finally:
+            if watch is not None:
+                self.network.unwatch_down(peer, watch)
+
+    def _send_hedge(
+        self, sid, state: _SearchState, reply: dict, tried: set, span: int
+    ):
+        """Send the hedged second retrieve to the next-best replier."""
+        peer = reply["peer"]
+        path = reply["path"]
+        if len(path) < 2:
+            return False
+        tried.add(peer)
+        self._note_attempt(peer, span)
+        if self._monitor is not None:
+            self._monitor.on_hedge(self.index, sid, self.env.now)
+        self.health.note("hedges")
+        self.metrics.record_health("hedge")
+        if span >= 0:
+            self._tracer.instant(
+                "retrieve-hedge",
+                host=self.index,
+                parent=span,
+                peer=peer,
+                recorded=self.metrics.recording,
+            )
+        message = Message(
+            kind=MessageKind.RETRIEVE,
+            src=self.index,
+            dst=peer,
+            size=self.sizes.retrieve,
+            payload={"search": sid, "item": state.item, "path": list(path)},
+            created_at=self.env.now,
+        )
+        sent = yield from self.network.unicast_route(list(path), message)
+        if not sent:
+            self._note_retrieve_failure(peer, span)
+            return False
+        return True
+
+    def _note_attempt(self, peer: int, span: int) -> None:
+        """Health bookkeeping for one retrieve send (breaker + monitor)."""
+        breaker_state, transitions = self.health.begin_attempt(peer, self.env.now)
+        self._note_breaker(peer, transitions, span)
+        if self._monitor is not None:
+            self._monitor.on_retrieve_attempt(
+                self.index, peer, breaker_state, self.env.now
+            )
+
+    def _note_retrieve_success(
+        self,
+        sid,
+        serving: int,
+        latency: float,
+        hops: int,
+        hedge_peer: Optional[int],
+        span: int,
+    ) -> None:
+        transitions = self.health.record_success(
+            serving, self.env.now, latency, hops
+        )
+        self._note_breaker(serving, transitions, span)
+        if hedge_peer is not None and serving == hedge_peer:
+            self.health.note("hedge_wins")
+            self.metrics.record_health("hedge_win")
+            if self._monitor is not None:
+                self._monitor.on_hedge_win(self.index, sid, self.env.now)
+            if span >= 0:
+                self._tracer.instant(
+                    "hedge-win",
+                    host=self.index,
+                    parent=span,
+                    peer=serving,
+                    recorded=self.metrics.recording,
+                )
+
+    def _note_retrieve_failure(self, peer: int, span: int) -> None:
+        transitions = self.health.record_failure(peer, self.env.now)
+        self._note_breaker(peer, transitions, span)
+
+    def _note_breaker(self, peer: int, transitions, span: int) -> None:
+        """Mirror breaker transitions into monitor, metrics and tracer."""
+        for old, new in transitions:
+            if self._monitor is not None:
+                self._monitor.on_breaker_transition(
+                    self.index, peer, old, new, self.env.now
+                )
+            instant, kind = _BREAKER_NOTES[new]
+            if kind is not None:
+                self.metrics.record_health(kind)
+            if span >= 0:
+                self._tracer.instant(
+                    instant,
+                    host=self.index,
+                    parent=span,
+                    peer=peer,
+                    recorded=self.metrics.recording,
+                )
+
+    def _backoff_delay(self, backoff: float) -> float:
+        """The next retry delay, jittered when ``retry_jitter`` is set.
+
+        The draw comes from the dedicated ``retry-jitter`` stream, so
+        enabling jitter shifts no other component's sequence — and with
+        jitter off the stream is never created and the delay is exactly
+        the unjittered backoff.
+        """
+        rng = self._jitter_rng
+        if rng is None:
+            return backoff
+        spread = self.config.retry_jitter
+        return backoff * (1.0 + spread * (2.0 * rng.random() - 1.0))
 
     def _finish_search(self, sid, outcome: str) -> None:
         state = self._searches.pop(sid, None)
@@ -569,6 +859,10 @@ class MobileHost:
                 "expiry": entry.expiry,
                 "retrieve_time": entry.retrieve_time,
                 "version": entry.version,
+                # Serving peer, so a hedged requester can attribute the
+                # DATA that won the race (payload-only; size is modelled
+                # by ``sizes.data_message()`` and unaffected).
+                "peer": self.index,
             },
             created_at=self.env.now,
         )
@@ -694,7 +988,7 @@ class MobileHost:
                         attempt=attempt,
                         recorded=self.metrics.recording,
                     )
-                yield self.env.timeout(backoff)
+                yield self.env.timeout(self._backoff_delay(backoff))
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.server_request)
             if not sent:
@@ -746,7 +1040,7 @@ class MobileHost:
                         attempt=attempt,
                         recorded=self.metrics.recording,
                     )
-                yield self.env.timeout(backoff)
+                yield self.env.timeout(self._backoff_delay(backoff))
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.validate)
             if not sent:
@@ -927,7 +1221,7 @@ class MobileHost:
                         attempt=attempt,
                         recorded=self.metrics.recording,
                     )
-                yield self.env.timeout(backoff)
+                yield self.env.timeout(self._backoff_delay(backoff))
                 backoff *= 2.0
             sent = yield from self.channel.send_uplink(self.sizes.membership_sync)
             if not sent:

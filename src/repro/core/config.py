@@ -15,6 +15,7 @@ from enum import Enum
 from typing import Dict
 
 from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
+from repro.net.health import SCORING_POLICIES
 
 __all__ = ["CachingScheme", "SimulationConfig"]
 
@@ -94,6 +95,24 @@ class SimulationConfig:
     retrieve_retry_limit: int = 0  # extra retrieves over other reply targets
     uplink_retry_limit: int = 2  # server-transaction retries on message loss
     retry_backoff_base: float = 0.05  # s; doubles on every retry
+    # ±fraction of each backoff delay, drawn from the dedicated
+    # "retry-jitter" stream; 0 keeps retries unjittered (and bit-identical
+    # to configs recorded before the field existed).
+    retry_jitter: float = 0.0
+
+    # -- failure-aware retrieve (repro.net.health) --------------------------------------------
+    # The defaults reproduce today's retrieve path exactly: first-reply
+    # arrival order, no breakers, no hedging, no deadline budget, crash
+    # failover off.  Any non-default value flips ``health_enabled`` and
+    # builds a PeerHealthTracker per host.
+    peer_policy: str = "arrival"  # key into net.health.SCORING_POLICIES
+    policy_epsilon: float = 0.1  # ε for the epsilon-greedy policy
+    health_alpha: float = 0.3  # EWMA weight of the health estimators
+    breaker_threshold: int = 0  # consecutive failures to trip; 0 = off
+    breaker_cooldown: float = 2.0  # s from trip to the half-open probe
+    hedge_quantile: float = 0.0  # EWMA-latency quantile to hedge at; 0 = off
+    retrieve_deadline: float = 0.0  # per-query retrieve budget (s); 0 = off
+    crash_failover: bool = False  # fail over on a replier's down-transition
 
     # -- GroCoCa: TCG discovery -----------------------------------------------------------
     distance_threshold: float = 100.0  # Δ
@@ -228,6 +247,41 @@ class SimulationConfig:
             raise ValueError("uplink_retry_limit must be >= 0")
         if self.retry_backoff_base <= 0:
             raise ValueError("retry_backoff_base must be positive")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.peer_policy not in SCORING_POLICIES:
+            raise ValueError(
+                f"unknown peer_policy {self.peer_policy!r}; "
+                f"known: {sorted(SCORING_POLICIES)}"
+            )
+        if not 0.0 <= self.policy_epsilon <= 1.0:
+            raise ValueError("policy_epsilon must be in [0, 1]")
+        if not 0.0 < self.health_alpha <= 1.0:
+            raise ValueError("health_alpha must be in (0, 1]")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if not 0.0 <= self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in [0, 1)")
+        if self.retrieve_deadline < 0:
+            raise ValueError("retrieve_deadline must be >= 0")
+
+    @property
+    def health_enabled(self) -> bool:
+        """Whether the failure-aware retrieve layer is active.
+
+        True when any knob departs from today's behaviour; the default
+        config keeps this False so no :class:`~repro.net.health.\
+PeerHealthTracker` is built and runs stay bit-identical to the goldens.
+        """
+        return (
+            self.peer_policy != "arrival"
+            or self.breaker_threshold > 0
+            or self.hedge_quantile > 0.0
+            or self.retrieve_deadline > 0.0
+            or self.crash_failover
+        )
 
     def with_scheme(self, scheme: CachingScheme) -> "SimulationConfig":
         """A copy of this config running a different scheme."""

@@ -27,12 +27,26 @@ from repro.sim.profile import RunProfile
 from repro.sim.stats import WelfordAccumulator
 
 __all__ = [
+    "HEALTH_EVENT_KINDS",
     "Metrics",
     "RequestOutcome",
     "RequestTrace",
     "Results",
     "TracingDisabledError",
 ]
+
+#: Event kinds of the failure-aware retrieve layer (repro.net.health)
+#: countable via :meth:`Metrics.record_health`.  All absent from
+#: :attr:`Results.health` when the layer is off, keeping pre-health
+#: fixtures comparable.
+HEALTH_EVENT_KINDS = (
+    "hedge",
+    "hedge_win",
+    "breaker_trip",
+    "breaker_probe",
+    "budget_exhausted",
+    "fast_failover",
+)
 
 
 class TracingDisabledError(RuntimeError):
@@ -104,6 +118,10 @@ class Results:
     retrieve_retries: int = 0
     uplink_retries: int = 0
     mss_fallbacks: int = 0
+    #: failure-aware retrieve counters (hedges, breaker trips, ...), keyed
+    #: by :data:`HEALTH_EVENT_KINDS`; empty whenever the health layer is
+    #: disabled, and omitted from golden fixtures in that case.
+    health: Dict[str, int] = field(default_factory=dict)
     #: per-outcome (count, mean latency) pairs, keyed by outcome name
     latency_by_outcome: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     #: wall-clock / events-processed instrumentation of the run that
@@ -165,6 +183,7 @@ class Metrics:
         self.peer_searches = 0
         self.retries = {"search": 0, "retrieve": 0, "uplink": 0}
         self.mss_fallbacks = 0
+        self.health_events: Dict[str, int] = {}
         self.latency = WelfordAccumulator()
         self.latency_by_outcome: Dict[RequestOutcome, WelfordAccumulator] = {
             o: WelfordAccumulator() for o in RequestOutcome
@@ -262,6 +281,14 @@ class Metrics:
             return
         self.retries[kind] += 1
 
+    def record_health(self, kind: str) -> None:
+        """Count one failure-aware retrieve event (see HEALTH_EVENT_KINDS)."""
+        if kind not in HEALTH_EVENT_KINDS:
+            raise ValueError(f"unknown health event kind {kind!r}")
+        if not self.recording:
+            return
+        self.health_events[kind] = self.health_events.get(kind, 0) + 1
+
     def record_fallback(self) -> None:
         """Count one peer search that had to fall back to the MSS."""
         if not self.recording:
@@ -316,5 +343,6 @@ class Metrics:
             retrieve_retries=self.retries["retrieve"],
             uplink_retries=self.retries["uplink"],
             mss_fallbacks=self.mss_fallbacks,
+            health=dict(self.health_events),
             latency_by_outcome=per_outcome,
         )

@@ -23,6 +23,7 @@ from repro.mobility.geometry import Rectangle
 from repro.net.channel import ServerChannel
 from repro.net.faults import FaultInjector
 from repro.net.message import MessageSizes
+from repro.net.health import COUNTER_NAMES, PeerHealthTracker
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.net.power import PowerLedger
@@ -153,6 +154,32 @@ class Simulation:
             config.access_range,
             config.theta,
         )
+        # Failure-aware retrieve layer (repro.net.health): trackers exist
+        # only when some knob moved off its golden default, so a legacy
+        # configuration constructs nothing, draws from no new stream, and
+        # stays bit-identical.  Only cooperative schemes retrieve from
+        # peers, so LC never gets a tracker.
+        self._trackers: List[Optional[PeerHealthTracker]] = [None] * config.n_clients
+        if config.health_enabled and config.scheme.cooperative:
+            policy_rng = (
+                self.streams.stream("peer-policy")
+                if config.peer_policy == "epsilon-greedy"
+                else None
+            )
+            self._trackers = [
+                PeerHealthTracker(
+                    alpha=config.health_alpha,
+                    breaker_threshold=config.breaker_threshold,
+                    breaker_cooldown=config.breaker_cooldown,
+                    policy=config.peer_policy,
+                    epsilon=config.policy_epsilon,
+                    rng=policy_rng,
+                )
+                for _ in range(config.n_clients)
+            ]
+        jitter_rng = (
+            self.streams.stream("retry-jitter") if config.retry_jitter > 0 else None
+        )
         self.clients: List[MobileHost] = [
             MobileHost(
                 index,
@@ -169,6 +196,8 @@ class Simulation:
                 ndp=self.ndp,
                 monitor=monitor,
                 tracer=tracer,
+                health=self._trackers[index],
+                jitter_rng=jitter_rng,
             )
             for index in range(config.n_clients)
         ]
@@ -263,6 +292,15 @@ class Simulation:
             counters[f"kernel_{name}"] = value
         if self.faults is not None:
             counters.update(self.faults.counters())
+        if any(tracker is not None for tracker in self._trackers):
+            # Health counters appear only when the layer is on, so golden
+            # profiles keep their exact pre-health counter set.
+            for name in COUNTER_NAMES:
+                counters[f"health_{name}"] = sum(
+                    tracker.counts[name]
+                    for tracker in self._trackers
+                    if tracker is not None
+                )
         return RunProfile(
             wall_time=wall_time,
             events=self.env.events_processed,

@@ -42,6 +42,7 @@ from repro.experiments.sweeps import (
     sweep_group_size,
     sweep_link_loss,
     sweep_n_clients,
+    sweep_peer_policy,
     sweep_skewness,
     sweep_update_rate,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "sweep_group_size",
     "sweep_link_loss",
     "sweep_n_clients",
+    "sweep_peer_policy",
     "sweep_skewness",
     "sweep_update_rate",
 ]

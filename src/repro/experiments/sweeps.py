@@ -7,9 +7,10 @@ rows are the LC / CC / GC series of the corresponding figure's four panels
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunSpec, execute_runs
 from repro.experiments.runner import (
     SweepTable,
     active_profile,
@@ -17,7 +18,8 @@ from repro.experiments.runner import (
     run_sweep,
 )
 from repro.core.config import SimulationConfig
-from repro.net.faults import FaultPlan, LinkFaults
+from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
+from repro.net.health import SCORING_POLICIES
 
 __all__ = [
     "sweep_access_range",
@@ -26,6 +28,7 @@ __all__ = [
     "sweep_group_size",
     "sweep_link_loss",
     "sweep_n_clients",
+    "sweep_peer_policy",
     "sweep_skewness",
     "sweep_update_rate",
 ]
@@ -266,6 +269,99 @@ def sweep_link_loss(
         cache=cache,
         **execute_kwargs,
     )
+
+
+def _policy_fault_plan(value: float) -> FaultPlan:
+    """The FigPolicy fault matrix at one loss level ``value``.
+
+    The sweep_link_loss recipe (i.i.d. + bursty P2P loss, quarter-rate MSS
+    loss) plus a low-rate crash-stop process, so the circuit breakers and
+    the crash fast-failover actually have outages to react to.
+    """
+    return FaultPlan(
+        p2p=LinkFaults(
+            loss=value,
+            burst_loss=min(1.0, 2.0 * value),
+            burst_on=0.05 if value > 0 else 0.0,
+            burst_off=0.5,
+        ),
+        uplink=LinkFaults(loss=value / 4.0),
+        downlink=LinkFaults(loss=value / 4.0),
+        crash=CrashFaults(
+            rate=0.0005 if value > 0 else 0.0, down_min=2.0, down_max=8.0
+        ),
+    )
+
+
+def sweep_peer_policy(
+    values: Optional[Sequence[float]] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    policies: Optional[Sequence[str]] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
+    """FigPolicy: replier-scoring policy × P2P fault rate, GroCoCa only.
+
+    Rows are the retrieve scoring policies of :mod:`repro.net.health`
+    instead of caching schemes: ``arrival`` runs today's legacy retrieve
+    path untouched (no health layer at all — the golden-default baseline),
+    while every adaptive policy additionally gets circuit breakers, a
+    hedged second request, a per-query deadline budget, crash fast-failover
+    and jittered backoff.  The swept value is the i.i.d. P2P frame-loss
+    probability; bursty loss, quarter-rate MSS loss and a low-rate
+    crash-stop process scale along with it (see
+    :func:`_policy_fault_plan`).  Same seed across policies at each sweep
+    point — paired comparisons under common random numbers.
+    """
+    values = list(values if values is not None else (0.0, 0.1, 0.2, 0.3))
+    policies = list(policies if policies is not None else SCORING_POLICIES)
+    unknown = [p for p in policies if p not in SCORING_POLICIES]
+    if unknown:
+        raise ValueError(
+            f"unknown scoring policies {unknown}; "
+            f"pick from {sorted(SCORING_POLICIES)}"
+        )
+
+    def config_for(value: float, policy: str) -> SimulationConfig:
+        common: Dict[str, Any] = dict(
+            faults=_policy_fault_plan(value),
+            search_retry_limit=1,
+            retrieve_retry_limit=2,
+            uplink_retry_limit=3,
+        )
+        if policy != "arrival":
+            common.update(
+                peer_policy=policy,
+                breaker_threshold=3,
+                breaker_cooldown=2.0,
+                hedge_quantile=0.9,
+                retrieve_deadline=5.0,
+                crash_failover=True,
+                retry_jitter=0.1,
+            )
+        return base_config(**common)
+
+    table = SweepTable(figure="FigPolicy", parameter="p2p_loss", values=values)
+    specs: List[RunSpec] = []
+    spec_policies: List[str] = []
+    for value in values:
+        for policy in policies:
+            specs.append(
+                RunSpec(
+                    config=config_for(value, policy),
+                    label=f"FigPolicy: p2p_loss={value} policy={policy}",
+                )
+            )
+            spec_policies.append(policy)
+    results = execute_runs(
+        specs, jobs=jobs, cache=cache, progress=progress, **execute_kwargs
+    )
+    for policy in policies:
+        table.rows[policy] = []
+    for policy, result in zip(spec_policies, results):
+        table.rows[policy].append(result)
+    return table
 
 
 def sweep_disconnection(

@@ -11,16 +11,26 @@
   beacons, link-failure detection).
 * :mod:`repro.net.faults` — seeded fault injection: i.i.d. and bursty
   message loss per link class plus crash-stop host outages.
+* :mod:`repro.net.health` — the failure-aware retrieve layer: per-peer
+  health tracking (EWMA latency/failure rate), pluggable replier-scoring
+  policies and per-peer circuit breakers.
 """
 
 from repro.net.channel import ServerChannel
 from repro.net.faults import CrashFaults, FaultInjector, FaultPlan, LinkFaults
+from repro.net.health import (
+    CircuitBreaker,
+    PeerHealth,
+    PeerHealthTracker,
+    SCORING_POLICIES,
+)
 from repro.net.message import Message, MessageKind, MessageSizes
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.net.power import PowerLedger, PowerModel, PowerParameters
 
 __all__ = [
+    "CircuitBreaker",
     "CrashFaults",
     "FaultInjector",
     "FaultPlan",
@@ -30,8 +40,11 @@ __all__ = [
     "MessageSizes",
     "NeighborDiscovery",
     "P2PNetwork",
+    "PeerHealth",
+    "PeerHealthTracker",
     "PowerLedger",
     "PowerModel",
     "PowerParameters",
+    "SCORING_POLICIES",
     "ServerChannel",
 ]

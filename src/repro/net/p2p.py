@@ -74,6 +74,11 @@ class P2PNetwork:
         # Scratch masks for the unicast bystander partition.
         self._near_src_mask = np.zeros(n, dtype=bool)
         self._near_dst_mask = np.zeros(n, dtype=bool)
+        # Down-transition watchers: events succeeded when a node leaves
+        # the air (crash or graceful disconnect).  Used by the failure-
+        # aware retrieve path to fail over the moment a serving peer
+        # drops instead of burning the full data-guard timeout.
+        self._down_watchers: Dict[int, List[object]] = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -84,9 +89,36 @@ class P2PNetwork:
     def set_connected(self, node: int, is_connected: bool) -> None:
         self.connected[node] = is_connected
         self._nbr_cache.clear()
+        if not is_connected:
+            watchers = self._down_watchers.pop(node, None)
+            if watchers:
+                for event in watchers:
+                    if not event.triggered:
+                        event.succeed(node)
 
     def is_connected(self, node: int) -> bool:
         return bool(self.connected[node])
+
+    def watch_down(self, node: int, event) -> None:
+        """Succeed ``event`` (with the node index) when ``node`` next
+        goes off the air; fires immediately if it is already down."""
+        if not self.connected[node]:
+            if not event.triggered:
+                event.succeed(node)
+            return
+        self._down_watchers.setdefault(node, []).append(event)
+
+    def unwatch_down(self, node: int, event) -> None:
+        """Withdraw a watcher registered with :meth:`watch_down`."""
+        watchers = self._down_watchers.get(node)
+        if watchers is None:
+            return
+        try:
+            watchers.remove(event)
+        except ValueError:
+            return
+        if not watchers:
+            del self._down_watchers[node]
 
     # -- physical layer --------------------------------------------------------
 

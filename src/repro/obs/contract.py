@@ -195,6 +195,24 @@ def _check_conservation(
         results.uplink_retries,
     )
 
+    # Failure-aware retrieve layer (repro.net.health): each counted event
+    # emits exactly one instant inside the retrieve span.  ``.get`` keeps
+    # pre-health Results (empty dict) reconciling at zero.
+    health_checks = (
+        ("retrieve-hedge", "hedge"),
+        ("hedge-win", "hedge_win"),
+        ("breaker-open", "breaker_trip"),
+        ("breaker-probe", "breaker_probe"),
+        ("budget-exhausted", "budget_exhausted"),
+        ("fast-failover", "fast_failover"),
+    )
+    for instant, kind in health_checks:
+        expect(
+            f"health {kind}",
+            _count_instants(events, instant),
+            results.health.get(kind, 0),
+        )
+
 
 def _check_profile(
     events: Sequence[TraceEvent], profile: RunProfile, problems: List[str]

@@ -106,6 +106,11 @@ _INF = math.inf
 _Entry = Tuple[float, int, "Event"]
 
 
+def _entry_seq(entry: _Entry) -> int:
+    """Sort key for same-time entries (seq defines dispatch order)."""
+    return entry[1]
+
+
 class Event:
     """A one-shot occurrence that can carry a value or an exception.
 
@@ -425,8 +430,10 @@ class CalendarQueue:
     one width-wide time window of the current "year", appended in schedule
     order.  Far-future events wait in a binary heap and migrate into the
     ring when the clock's year advances to reach them.  Equal-time events
-    preserve schedule (seq) order by construction, so dispatch order is
-    bit-identical to :class:`HeapQueue`.
+    dispatch in schedule (seq) order — pops break time ties on seq, since
+    push order alone is not seq order (the environment's front register
+    can flush an older entry behind a newer same-time push) — so dispatch
+    order is bit-identical to :class:`HeapQueue`.
 
     The bucket width auto-tunes to the observed gap between consecutive
     distinct event times (an EWMA sampled every ``_SAMPLE_EVERY`` pops),
@@ -604,13 +611,16 @@ class CalendarQueue:
                     break
             self.bucket_scans += scans
             self._cursor = cursor
-        # First-found strict minimum: in-bucket list order is seq order for
-        # equal times, so keeping the first occurrence preserves FIFO.
+        # Strict (when, seq) minimum: in-bucket list order is *usually*
+        # seq order, but the environment's front register may flush an
+        # older entry behind a newer same-time push, so ties break on seq.
         best_index = 0
         best = entries[0]
         for index in range(1, len(entries)):
             entry = entries[index]
-            if entry[0] < best[0]:
+            if entry[0] < best[0] or (
+                entry[0] == best[0] and entry[1] < best[1]
+            ):
                 best = entry
                 best_index = index
         entries.pop(best_index)
@@ -659,12 +669,19 @@ class CalendarQueue:
                     when = entry[0]
             if when > limit:
                 return None
-            batch = [entry[2] for entry in entries if entry[0] == when]
-            count = len(batch)
+            matched = [entry for entry in entries if entry[0] == when]
+            count = len(matched)
             if count == len(entries):
                 del entries[:]
             else:
                 slots[cursor] = [entry for entry in entries if entry[0] != when]
+            # In-bucket list order is *usually* seq order, but the
+            # environment's front register may flush an older entry behind
+            # a newer same-time push; timsort makes the sorted common case
+            # a single O(n) scan.  Seqs are unique, so the sort never
+            # compares the (unorderable) event payloads.
+            matched.sort(key=_entry_seq)
+            batch = [entry[2] for entry in matched]
         self._cursor = cursor
         self._ring_count -= count
         self.size -= count

@@ -33,7 +33,10 @@ class RunProfile:
     events: int
     #: Per-subsystem work counters, e.g. ``p2p_broadcasts``,
     #: ``snapshot_rebuilds``, ``ndp_rounds``; mostly event counts, but
-    #: accumulated durations (``server_uplink_wait``) are floats.
+    #: accumulated durations (``server_uplink_wait``) are floats.  Runs
+    #: with the failure-aware retrieve layer on additionally carry the
+    #: ``health_*`` counters (hedges, hedge wins, breaker trips/probes,
+    #: budget exhaustions, crash fast-failovers) summed over all hosts.
     counters: Dict[str, float] = field(default_factory=dict)
 
     @property

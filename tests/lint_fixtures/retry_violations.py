@@ -1,0 +1,64 @@
+"""Seeded retry-rule violations (simlint test fixture, never imported)."""
+
+
+def unbounded_retry(env, send):
+    backoff = 0.1
+    while True:  # MARK:unbounded-retry
+        if send():
+            return True
+        yield env.timeout(backoff)
+        backoff *= 2.0
+
+
+def unbounded_retry_additive(env, send):
+    delay = 0.1
+    while 1:  # MARK:unbounded-retry-additive
+        if send():
+            return True
+        yield env.timeout(delay)
+        delay = delay + 0.5
+
+
+def bounded_by_attempts(env, send, retry_limit):
+    # ok: attempt bound checked inside the loop
+    backoff = 0.1
+    attempt = 0
+    while True:
+        if send():
+            return True
+        attempt += 1
+        if attempt > retry_limit:
+            return False
+        yield env.timeout(backoff)
+        backoff *= 2.0
+
+
+def bounded_by_deadline(env, send, deadline):
+    # ok: deadline consulted against the simulated clock
+    backoff = 0.1
+    while True:
+        if send():
+            return True
+        if env.now >= deadline:
+            return False
+        yield env.timeout(backoff)
+        backoff *= 2.0
+
+
+def bounded_by_range(env, send, retry_limit):
+    # ok: the idiomatic bounded retry loop — not a While at all
+    backoff = 0.1
+    for _attempt in range(1 + retry_limit):
+        if send():
+            return True
+        yield env.timeout(backoff)
+        backoff *= 2.0
+    return False
+
+
+def plain_poll_loop(env, ready):
+    # ok: no backoff growth — a plain wait loop, not a retry loop
+    while True:
+        if ready():
+            return
+        yield env.timeout(1.0)

@@ -72,7 +72,10 @@ def test_invalid_scheme_rejected():
 
 
 def test_figure_choices_cover_all_paper_figures():
-    assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)} | {"fig-loss"}
+    assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)} | {
+        "fig-loss",
+        "fig-policy",
+    }
     with pytest.raises(SystemExit):
         parse(["figure", "fig99"])
 

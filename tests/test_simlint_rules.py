@@ -192,3 +192,40 @@ def test_hot_alloc_rule_spares_non_dispatch_code_and_honors_pragmas():
     assert escaped not in flagged_lines  # pragma suppression works
     assert quiet not in flagged_lines  # methods other than run/step
     assert len(findings) == len(HOT_ALLOC_MARKS)
+
+
+RETRY_CASES = [
+    ("unbounded-retry", "MARK:unbounded-retry"),
+    ("unbounded-retry", "MARK:unbounded-retry-additive"),
+]
+
+
+@pytest.mark.parametrize("rule_id,marker", RETRY_CASES)
+def test_retry_rule_catches_seeded_violations(rule_id, marker):
+    findings = findings_for("retry_violations.py")
+    line = marker_line("retry_violations.py", marker)
+    assert any(
+        f.rule == rule_id and f.line == line for f in findings
+    ), f"{rule_id} not reported at line {line}: {findings}"
+
+
+def test_retry_rule_spares_bounded_loops():
+    findings = [
+        f for f in findings_for("retry_violations.py")
+        if f.rule == "unbounded-retry"
+    ]
+    # Only the two seeded violations fire; the attempt-bounded,
+    # deadline-bounded, range-based and non-backoff loops stay clean.
+    assert len(findings) == len(RETRY_CASES), findings
+
+
+def test_retry_rule_is_clean_on_the_source_tree():
+    package = Path(__file__).parent.parent / "src" / "repro"
+    for path in sorted(package.rglob("*.py")):
+        module = ModuleSource.from_path(path)
+        findings = [
+            f
+            for f in lint_source(module, all_rules())
+            if f.rule == "unbounded-retry"
+        ]
+        assert findings == [], f"{path}: {findings}"

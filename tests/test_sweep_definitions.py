@@ -114,3 +114,65 @@ def test_explicit_values_override_defaults(recorded, monkeypatch):
     set_profile(monkeypatch, "bench")
     sweeps.sweep_cache_size(values=[10, 20])
     assert recorded[-1]["values"] == [10, 20]
+
+
+@pytest.fixture()
+def recorded_specs(monkeypatch):
+    """Capture execute_runs specs for sweeps that bypass run_sweep."""
+    calls = []
+
+    def fake_execute_runs(specs, **kwargs):
+        calls.append(list(specs))
+        return [None] * len(specs)
+
+    monkeypatch.setattr(sweeps, "execute_runs", fake_execute_runs)
+    return calls
+
+
+def test_fig_policy_matrix_shape(recorded_specs, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    table = sweeps.sweep_peer_policy()
+    specs = recorded_specs[-1]
+    assert table.figure == "FigPolicy"
+    assert table.parameter == "p2p_loss"
+    assert table.values == [0.0, 0.1, 0.2, 0.3]
+    assert sorted(table.rows) == sorted(
+        ["arrival", "least-pending", "latency-aware", "power-aware",
+         "epsilon-greedy"]
+    )
+    assert len(specs) == len(table.values) * len(table.rows)
+
+
+def test_fig_policy_arrival_row_is_pure_legacy(recorded_specs, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_peer_policy(values=[0.2], policies=["arrival", "latency-aware"])
+    arrival, adaptive = [s.config for s in recorded_specs[-1]]
+    # The baseline runs the untouched legacy retrieve path...
+    assert not arrival.health_enabled
+    assert arrival.retry_jitter == 0.0
+    # ...while adaptive rows switch the whole failure-aware layer on.
+    assert adaptive.health_enabled
+    assert adaptive.peer_policy == "latency-aware"
+    assert adaptive.breaker_threshold > 0
+    assert adaptive.hedge_quantile > 0.0
+    assert adaptive.retrieve_deadline > 0.0
+    assert adaptive.crash_failover
+    assert adaptive.retry_jitter > 0.0
+    # Paired comparison: identical workload, faults and seed across rows.
+    assert arrival.seed == adaptive.seed
+    assert arrival.faults == adaptive.faults
+
+
+def test_fig_policy_faults_scale_with_loss(recorded_specs, monkeypatch):
+    set_profile(monkeypatch, "bench")
+    sweeps.sweep_peer_policy(values=[0.0, 0.3], policies=["arrival"])
+    lossless, lossy = [s.config for s in recorded_specs[-1]]
+    assert not lossless.faults.enabled
+    assert lossy.faults.p2p.loss == 0.3
+    assert lossy.faults.crash.rate > 0.0
+
+
+def test_fig_policy_rejects_unknown_policy(monkeypatch):
+    set_profile(monkeypatch, "bench")
+    with pytest.raises(ValueError, match="unknown scoring policies"):
+        sweeps.sweep_peer_policy(policies=["fastest-first"])

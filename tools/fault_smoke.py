@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI fault-matrix smoke: the failure-aware retrieve layer under fire.
+
+Usage::
+
+    PYTHONPATH=src REPRO_PROFILE=quick python tools/fault_smoke.py
+
+Two gates, both fast at the quick profile:
+
+1. **Monitored adaptive runs** — one GroCoCa run per adaptive scoring
+   policy under a bursty fault plan, each with the
+   :class:`~repro.check.monitor.InvariantMonitor` attached in ``collect``
+   mode.  Any invariant violation — including the breaker-discipline and
+   hedge-conservation checks — fails the smoke.
+2. **Micro policy sweep** — a two-point :func:`sweep_peer_policy` matrix
+   executed with ``salvage=True``; any crashed or missing run fails the
+   smoke (a fault plan must degrade a run, never kill it).
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.check.monitor import InvariantMonitor
+from repro.core.simulation import run_simulation
+from repro.experiments.parallel import RunFailure
+from repro.experiments.runner import base_config
+from repro.experiments.sweeps import _policy_fault_plan, sweep_peer_policy
+from repro.net.health import SCORING_POLICIES
+
+#: P2P loss rate of the monitored runs — hostile enough to trip breakers.
+SMOKE_LOSS = 0.25
+
+#: Sweep points of the micro matrix (clean + lossy).
+SWEEP_VALUES = (0.0, 0.25)
+
+
+def _adaptive_config(policy: str):
+    return base_config(
+        faults=_policy_fault_plan(SMOKE_LOSS),
+        search_retry_limit=1,
+        retrieve_retry_limit=2,
+        uplink_retry_limit=3,
+        peer_policy=policy,
+        breaker_threshold=3,
+        breaker_cooldown=2.0,
+        hedge_quantile=0.9,
+        retrieve_deadline=5.0,
+        crash_failover=True,
+        retry_jitter=0.1,
+    )
+
+
+def check_monitored_runs() -> int:
+    """Every adaptive policy survives a monitored run under faults."""
+    failures = 0
+    for policy in sorted(SCORING_POLICIES):
+        if policy == "arrival":
+            continue  # the legacy path is golden-gated elsewhere
+        monitor = InvariantMonitor(mode="collect")
+        results = run_simulation(_adaptive_config(policy), monitor=monitor)
+        report = monitor.report()
+        status = "ok" if report.ok else "VIOLATIONS"
+        print(
+            f"  {policy:>14}: {status}  "
+            f"lat={results.access_latency:.4f}s  "
+            f"trips={results.health.get('breaker_trip', 0)}  "
+            f"hedges={results.health.get('hedge', 0)}"
+        )
+        if not report.ok:
+            failures += 1
+            for violation in report.violations:
+                print(f"    {violation}")
+    return failures
+
+
+def check_policy_sweep() -> int:
+    """The micro policy matrix completes with no crashed runs."""
+    failures: list[RunFailure] = []
+    table = sweep_peer_policy(
+        values=SWEEP_VALUES,
+        attempts=2,
+        salvage=True,
+        failures_out=failures,
+    )
+    problems = len(failures)
+    for failure in failures:
+        print(f"  CRASHED: {failure.label}: {failure.error}")
+    for policy in table.rows:
+        for value in table.values:
+            if table.result(policy, value) is None:
+                problems += 1
+                print(f"  MISSING: policy={policy} p2p_loss={value}")
+    if problems == 0:
+        runs = len(table.rows) * len(table.values)
+        print(f"  {runs} runs, all completed")
+    return problems
+
+
+def main() -> int:
+    print("fault smoke: monitored adaptive runs")
+    problems = check_monitored_runs()
+    print("fault smoke: micro policy sweep")
+    problems += check_policy_sweep()
+    if problems:
+        print(f"fault smoke: FAILED ({problems} problem(s))")
+        return 1
+    print("fault smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ PLACEHOLDERS = {
     "FIG7": "fig7_scalability.txt",
     "FIG8": "fig8_disconnection.txt",
     "FIGLOSS": "fig_link_loss.txt",
+    "FIGPOLICY": "fig_peer_policy.txt",
 }
 
 
