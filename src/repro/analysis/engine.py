@@ -228,6 +228,7 @@ def rule_registry() -> Dict[str, Type[LintRule]]:
         rules_determinism,
         rules_kernel,
         rules_obs,
+        rules_policy,
         rules_retry,
     )
 

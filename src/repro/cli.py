@@ -7,6 +7,7 @@ Six subcommands cover the common workflows::
     python -m repro figure   fig2 --profile quick
     python -m repro sweep    fig2 --jobs 4 --cache results/cache --profile
     python -m repro trace    summarize results/traces
+    python -m repro policies list [--namespace replacement]
     python -m repro check    golden record|verify [--fixtures DIR]
 
 ``run`` simulates one configuration and prints the paper's metrics
@@ -34,6 +35,7 @@ from typing import List, Optional
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.core.metrics import Results
 from repro.core.simulation import compare_schemes, run_simulation
+from repro.policies import registry as policy_registry
 
 __all__ = ["build_parser", "main"]
 
@@ -49,6 +51,10 @@ FIGURES = {
     "fig-policy": (
         "sweep_peer_policy",
         "retrieve scoring policy x P2P fault rate",
+    ),
+    "fig-matrix": (
+        "sweep_policy_matrix",
+        "admission/replacement policy x Zipf skewness",
     ),
 }
 
@@ -69,6 +75,22 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    """Registry-key overrides (see ``repro policies list``)."""
+    parser.add_argument(
+        "--admission", metavar="KEY", help="admission policy registry key"
+    )
+    parser.add_argument(
+        "--replacement", metavar="KEY", help="replacement policy registry key"
+    )
+    parser.add_argument(
+        "--discovery", metavar="KEY", help="discovery policy registry key"
+    )
+    parser.add_argument(
+        "--peer-policy", metavar="KEY", help="retrieve peer-scoring key"
+    )
+
+
 _CONFIG_FIELDS = {
     "clients": "n_clients",
     "data": "n_data",
@@ -80,6 +102,10 @@ _CONFIG_FIELDS = {
     "p_disc": "p_disc",
     "requests": "measure_requests",
     "seed": "seed",
+    "admission": "admission_policy",
+    "replacement": "replacement_policy",
+    "discovery": "discovery_policy",
+    "peer_policy": "peer_policy",
 }
 
 
@@ -92,7 +118,11 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     if getattr(args, "no_ndp", False):
         overrides["ndp_enabled"] = False
     if getattr(args, "scheme", None):
-        overrides["scheme"] = CachingScheme[args.scheme]
+        # Resolved through the registry's "scheme" namespace (the enum
+        # name doubles as the registry key, lowercased).
+        overrides["scheme"] = policy_registry.resolve(
+            "scheme", args.scheme.lower()
+        ).to_enum()
     return SimulationConfig(**overrides)
 
 
@@ -150,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time-series sampler period in simulated seconds (default 5)",
     )
     _add_config_arguments(run_parser)
+    _add_policy_arguments(run_parser)
 
     compare_parser = commands.add_parser(
         "compare", help="run LC / CC / GC on the same seed"
@@ -289,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    policies_parser = commands.add_parser(
+        "policies", help="inspect the policy plugin registry"
+    )
+    policies_commands = policies_parser.add_subparsers(
+        dest="policies_command", required=True
+    )
+    policies_list = policies_commands.add_parser(
+        "list", help="print every registered policy key with its summary"
+    )
+    policies_list.add_argument(
+        "--namespace",
+        choices=list(policy_registry.NAMESPACES),
+        help="only list one namespace",
     )
 
     check_parser = commands.add_parser(
@@ -437,6 +483,20 @@ def _run_lint_command(args: argparse.Namespace) -> int:
     )
 
 
+def _run_policies_command(args: argparse.Namespace) -> int:
+    """Handler of the ``policies`` subcommand."""
+    namespaces = (
+        [args.namespace] if args.namespace else list(policy_registry.NAMESPACES)
+    )
+    for namespace in namespaces:
+        print(f"{namespace}:")
+        for info in policy_registry.entries(namespace):
+            print(f"  {info.key:<16} {info.summary}")
+            if info.citation:
+                print(f"  {'':<16} [{info.citation}]")
+    return 0
+
+
 def _run_check_command(args: argparse.Namespace) -> int:
     """Handler of the ``check`` subcommand."""
     # Imported lazily: golden pulls in the experiments layer.
@@ -529,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_lint_command(args)
     if args.command == "trace":
         return _run_trace_command(args)
+    if args.command == "policies":
+        return _run_policies_command(args)
     if args.command == "check":
         return _run_check_command(args)
     return 2  # unreachable: argparse enforces the choices

@@ -21,11 +21,9 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.cache import CacheEntry, LRUCache
-from repro.core.admission import AdmissionControl
 from repro.core.coca import AdaptiveTimeout, initial_timeout
 from repro.core.config import SimulationConfig
 from repro.core.metrics import Metrics, RequestOutcome
-from repro.core.replacement import CooperativeReplacement
 from repro.core.server import MobileSupportStation
 from repro.core.signatures_proto import MembershipActions, SignatureAgent
 from repro.data.workload import AccessPattern
@@ -34,6 +32,7 @@ from repro.net.health import PeerHealthTracker
 from repro.net.message import Message, MessageKind, MessageSizes
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
+from repro.policies.factory import build_admission, build_replacement
 from repro.sim.kernel import Environment
 from repro.signatures.bloom import SignatureScheme
 
@@ -86,6 +85,7 @@ class MobileHost:
         tracer=None,
         health: Optional[PeerHealthTracker] = None,
         jitter_rng: Optional[np.random.Generator] = None,
+        admission_rng: Optional[np.random.Generator] = None,
     ):
         self.index = index
         self.env = env
@@ -139,21 +139,21 @@ class MobileHost:
                 compression_enabled=config.signature_compression,
                 recollect_batch=config.recollect_batch,
             )
-            self.admission = AdmissionControl(config.admission_control)
-            self.replacement: Optional[CooperativeReplacement] = (
-                CooperativeReplacement(
-                    signature_scheme,
-                    self.cache,
-                    self.signatures.peer,
-                    config.replace_candidate,
-                    config.replace_delay,
-                    enabled=config.cooperative_replacement,
-                )
-            )
         else:
             self.signatures = None
-            self.admission = AdmissionControl(enabled=False)
-            self.replacement = None
+        # Admission and replacement resolve through the policy registry;
+        # with no explicit *_policy overrides the factory reproduces the
+        # pre-registry wiring (and counters) exactly.
+        self.admission = build_admission(config, rng=admission_rng)
+        self.replacement = build_replacement(
+            config,
+            self.cache,
+            signature_scheme=signature_scheme,
+            peer_signature=(
+                self.signatures.peer if self.signatures is not None else None
+            ),
+        )
+        self._observe_requests = self.replacement.observes_requests
 
         self._search_seq = 0
         self._searches: Dict[Tuple[int, int], _SearchState] = {}
@@ -186,6 +186,8 @@ class MobileHost:
     def access_item(self, item: int):
         """Resolve one query: local cache, peers, then the MSS."""
         start = self.env.now
+        if self._observe_requests:
+            self.replacement.note_request(item)
         tracer = self._tracer
         if tracer is not None:
             self._req_seq += 1
@@ -218,8 +220,8 @@ class MobileHost:
         if self.config.scheme.cooperative and self.connected:
             result = yield from self._search_peers(item)
             if result is not None:
-                reply, from_tcg = result
-                self._admit_from_peer(reply, from_tcg)
+                reply, from_tcg, hops = result
+                self._admit_from_peer(reply, from_tcg, hops)
                 self._remember_peer_access(item)
                 self._record_outcome(
                     RequestOutcome.GLOBAL_HIT, start, from_tcg=from_tcg
@@ -263,8 +265,7 @@ class MobileHost:
 
     def _note_local_access(self, item: int, entry: CacheEntry) -> None:
         self.cache.touch(item, self.env.now)
-        if self.replacement is not None:
-            self.replacement.note_access(entry)
+        self.replacement.note_access(entry, self.env.now)
 
     def _remember_peer_access(self, item: int) -> None:
         if self.signatures is None:
@@ -275,7 +276,7 @@ class MobileHost:
     # --------------------------------------------------------------- peer searching
 
     def _search_peers(self, item: int):
-        """COCA broadcast search; returns (reply dict, from_tcg) or None."""
+        """COCA search; returns (reply dict, from_tcg, hops) or None."""
         signatures = self.signatures
         if (
             signatures is not None
@@ -383,7 +384,12 @@ class MobileHost:
             return None
         data, serving_peer = outcome
         from_tcg = signatures is not None and serving_peer in signatures.members
-        return data, from_tcg
+        hops = 1
+        for r in state.replies:
+            if r["peer"] == serving_peer:
+                hops = len(r["path"]) - 1
+                break
+        return data, from_tcg, hops
 
     def _select_replier(self, state: _SearchState, tried: set) -> Optional[dict]:
         """The next retrieve target among the untried repliers.
@@ -784,6 +790,8 @@ class MobileHost:
             return
         self._seen_search[origin] = seq
         item = payload["item"]
+        if self._observe_requests:
+            self.replacement.note_remote_request(item)
         entry = self.cache.get(item)
         if entry is not None and entry.is_valid(self.env.now):
             self.env.process(self._send_reply(message, entry))
@@ -874,8 +882,7 @@ class MobileHost:
             if requester in self.signatures.members and item in self.cache:
                 # Section IV-E: serving a TCG member refreshes the copy.
                 self.cache.touch(item, self.env.now)
-                if self.replacement is not None:
-                    self.replacement.note_access(self.cache.get(item))
+                self.replacement.note_access(self.cache.get(item), self.env.now)
 
     def _on_data(self, message: Message) -> None:
         sid = message.payload["search"]
@@ -1007,9 +1014,7 @@ class MobileHost:
                 expiry=reply.expiry,
                 retrieve_time=reply.retrieve_time,
                 version=reply.version,
-                singlet_ttl=(
-                    self.replacement.new_entry_ttl() if self.replacement else 0
-                ),
+                singlet_ttl=self.replacement.new_entry_ttl(),
             )
             if span >= 0:
                 self._tracer.end(span, status="ok", attempts=attempt + 1)
@@ -1134,27 +1139,32 @@ class MobileHost:
             return
         self._insert_with_replacement(entry)
 
-    def _admit_from_peer(self, reply: dict, from_tcg: bool) -> None:
+    def _admit_from_peer(self, reply: dict, from_tcg: bool, hops: int = 1) -> None:
         """Section IV-E admission control for peer-supplied items."""
         entry = CacheEntry(
             item=reply["item"],
             expiry=reply["expiry"],
             retrieve_time=reply["retrieve_time"],
             version=reply["version"],
-            singlet_ttl=(
-                self.replacement.new_entry_ttl() if self.replacement else 0
-            ),
+            singlet_ttl=self.replacement.new_entry_ttl(),
         )
-        if entry.item in self.cache or not self.cache.is_full:
+        if entry.item in self.cache:
             self._insert(entry)
             return
-        if not self.admission.should_cache(cache_full=True, from_tcg_member=from_tcg):
+        cache_full = self.cache.is_full
+        if not self.admission.should_cache(
+            cache_full=cache_full, from_tcg_member=from_tcg, hops=hops
+        ):
             return
-        self._insert_with_replacement(entry)
+        if cache_full:
+            self._insert_with_replacement(entry)
+        else:
+            self._insert(entry)
 
     def _insert(self, entry: CacheEntry) -> None:
         new_item = entry.item not in self.cache
         evicted = self.cache.insert(entry, self.env.now)
+        self.replacement.note_insert(entry, self.env.now)
         if self.signatures is not None:
             if evicted is not None:
                 self.signatures.record_evict(evicted.item, self.cache.items())
@@ -1173,16 +1183,22 @@ class MobileHost:
             self._monitor.check_client_cache(self.index, self.cache, self.env.now)
 
     def _insert_with_replacement(self, entry: CacheEntry) -> None:
-        """Full cache: evict the cooperative-replacement victim, then insert."""
-        if self.replacement is not None:
-            victim = self.replacement.select_victim()
-            if victim is not None:
-                self.cache.evict(victim.item)
+        """Full cache: evict the policy's chosen victim, then insert.
+
+        For the LC/CC baseline the explicit evict-then-insert is
+        equivalent to letting ``cache.insert`` evict internally: the
+        victim is the same LRU entry, both paths bump the same cache
+        eviction counter, and the tracer still sees evict before admit.
+        """
+        victim = self.replacement.select_victim(self.env.now)
+        if victim is not None:
+            self.cache.evict(victim.item)
+            if self.signatures is not None:
                 self.signatures.record_evict(victim.item, self.cache.items())
-                if self._tracer is not None:
-                    self._tracer.instant(
-                        "cache-evict", host=self.index, item=victim.item
-                    )
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "cache-evict", host=self.index, item=victim.item
+                )
         self._insert(entry)
 
     # ---------------------------------------------------------------- disconnection

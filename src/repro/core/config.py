@@ -16,6 +16,7 @@ from typing import Dict
 
 from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
 from repro.net.health import SCORING_POLICIES
+from repro.policies import registry as policy_registry
 
 __all__ = ["CachingScheme", "SimulationConfig"]
 
@@ -140,6 +141,15 @@ class SimulationConfig:
     signature_filtering: bool = True  # ablation A4
     signature_compression: bool = True  # ablation A3
 
+    # -- policy registry overrides (repro.policies) -----------------------------------------------
+    # Empty string = resolve through the legacy mapping (scheme + ablation
+    # flags), which keeps every config recorded before these fields existed
+    # bit-identical.  A non-empty value must name a registered key and
+    # overrides that axis for every host.
+    admission_policy: str = ""  # key into the "admission" namespace
+    replacement_policy: str = ""  # key into the "replacement" namespace
+    discovery_policy: str = ""  # key into the "discovery" namespace
+
     # -- NDP ---------------------------------------------------------------------------------------
     ndp_enabled: bool = True
     beacon_interval: float = 1.0
@@ -249,6 +259,28 @@ class SimulationConfig:
             raise ValueError("retry_backoff_base must be positive")
         if not 0.0 <= self.retry_jitter < 1.0:
             raise ValueError("retry_jitter must be in [0, 1)")
+        for namespace, value in (
+            ("admission", self.admission_policy),
+            ("replacement", self.replacement_policy),
+            ("discovery", self.discovery_policy),
+        ):
+            if value and value not in policy_registry.available(namespace):
+                raise ValueError(
+                    f"unknown {namespace} policy {value!r}; available: "
+                    f"{', '.join(policy_registry.available(namespace))}"
+                )
+        if self.replacement_policy == "grococa" and not self.scheme.group_based:
+            raise ValueError(
+                "replacement policy 'grococa' needs the GroCoCa signature "
+                "scheme (scheme GC)"
+            )
+        if self.discovery_policy == "tcg" and not self.scheme.group_based:
+            raise ValueError("discovery policy 'tcg' requires scheme GC")
+        if self.discovery_policy == "none" and self.scheme.group_based:
+            raise ValueError(
+                "scheme GC requires TCG discovery; discovery policy 'none' "
+                "is only valid for LC/CC"
+            )
         if self.peer_policy not in SCORING_POLICIES:
             raise ValueError(
                 f"unknown peer_policy {self.peer_policy!r}; "

@@ -27,6 +27,7 @@ from repro.net.health import COUNTER_NAMES, PeerHealthTracker
 from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.net.power import PowerLedger
+from repro.policies import factory as policy_factory
 from repro.sim.kernel import Environment
 from repro.sim.profile import RunProfile
 from repro.sim.random import RandomStreams
@@ -115,18 +116,16 @@ class Simulation:
             alpha=config.alpha,
             examine_interval=config.examine_interval,
         )
-        self.tcg: Optional[TCGManager] = None
+        # Discovery resolves through the policy registry; the legacy
+        # mapping gives GC its TCGManager and LC/CC None, exactly as the
+        # scheme check used to.
+        self._policy_keys = policy_factory.resolved_policy_keys(config)
+        self._custom_policies = policy_factory.custom_policies(config)
+        self.tcg: Optional[TCGManager] = policy_factory.build_discovery(
+            config, monitor=monitor, tracer=tracer
+        )
         self.signature_scheme: Optional[SignatureScheme] = None
         if config.scheme is CachingScheme.GC:
-            self.tcg = TCGManager(
-                config.n_clients,
-                config.n_data,
-                config.distance_threshold,
-                config.similarity_threshold,
-                config.omega,
-                monitor=monitor,
-                tracer=tracer,
-            )
             self.signature_scheme = SignatureScheme(
                 self.streams.stream("hash"),
                 config.signature_bits,
@@ -180,6 +179,13 @@ class Simulation:
         jitter_rng = (
             self.streams.stream("retry-jitter") if config.retry_jitter > 0 else None
         )
+        # Shared stream for stochastic admission policies; deterministic
+        # policies (every legacy mapping) create no stream at all.
+        admission_rng = (
+            self.streams.stream("admission-policy")
+            if policy_factory.admission_needs_rng(config)
+            else None
+        )
         self.clients: List[MobileHost] = [
             MobileHost(
                 index,
@@ -198,6 +204,7 @@ class Simulation:
                 tracer=tracer,
                 health=self._trackers[index],
                 jitter_rng=jitter_rng,
+                admission_rng=admission_rng,
             )
             for index in range(config.n_clients)
         ]
@@ -301,6 +308,19 @@ class Simulation:
                     for tracker in self._trackers
                     if tracker is not None
                 )
+        if self._custom_policies:
+            # Policy engagement counters appear only when some resolved
+            # key departs from the legacy mapping, so golden profiles (and
+            # the differential replay) keep their exact counter set.
+            counters["policy_admitted"] = sum(
+                client.admission.admitted for client in self.clients
+            )
+            counters["policy_rejected"] = sum(
+                client.admission.rejected for client in self.clients
+            )
+            counters["policy_evictions"] = sum(
+                client.replacement.eviction_count() for client in self.clients
+            )
         return RunProfile(
             wall_time=wall_time,
             events=self.env.events_processed,

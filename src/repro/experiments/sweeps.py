@@ -17,7 +17,7 @@ from repro.experiments.runner import (
     base_config,
     run_sweep,
 )
-from repro.core.config import SimulationConfig
+from repro.core.config import CachingScheme, SimulationConfig
 from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
 from repro.net.health import SCORING_POLICIES
 
@@ -29,6 +29,7 @@ __all__ = [
     "sweep_link_loss",
     "sweep_n_clients",
     "sweep_peer_policy",
+    "sweep_policy_matrix",
     "sweep_skewness",
     "sweep_update_rate",
 ]
@@ -361,6 +362,74 @@ def sweep_peer_policy(
         table.rows[policy] = []
     for policy, result in zip(spec_policies, results):
         table.rows[policy].append(result)
+    return table
+
+
+#: The FigMatrix rows: label -> config overrides.  The three schemes are
+#: the paper's baselines; the GC variants swap exactly one registry key,
+#: so every column is a paired ablation of that axis against stock
+#: GroCoCa under common random numbers.
+_MATRIX_ROWS: Dict[str, Dict[str, Any]] = {
+    "LC": {"scheme": CachingScheme.LC},
+    "CC": {"scheme": CachingScheme.CC},
+    "GC": {},
+    "GC+probcache": {"admission_policy": "probcache"},
+    "GC+lcd": {"admission_policy": "lcd"},
+    "GC+lru-min": {"replacement_policy": "lru-min"},
+    "GC+greedy-dual": {"replacement_policy": "greedy-dual"},
+    "GC+popularity": {"replacement_policy": "popularity-rank"},
+}
+
+
+def sweep_policy_matrix(
+    values: Optional[Sequence[float]] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    rows: Optional[Sequence[str]] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
+    """FigMatrix: registered admission/replacement policies × Zipf θ.
+
+    Rows are policy variants instead of schemes: the LC/CC/GC baselines
+    plus one GroCoCa row per registered non-legacy admission and
+    replacement key (see ``repro policies list``).  The swept value is the
+    Zipf skewness — the knob that separates popularity-aware policies
+    from recency-only ones — and every run takes a non-zero update rate
+    so the TTL-aware policies (``lru-min``, ``greedy-dual``) have finite
+    expiries to rank.  Same seed across rows at each sweep point (common
+    random numbers).
+    """
+    values = list(values if values is not None else (0.5, 0.8, 0.95))
+    rows = list(rows if rows is not None else _MATRIX_ROWS)
+    unknown = [r for r in rows if r not in _MATRIX_ROWS]
+    if unknown:
+        raise ValueError(
+            f"unknown matrix rows {unknown}; pick from {sorted(_MATRIX_ROWS)}"
+        )
+
+    table = SweepTable(figure="FigMatrix", parameter="theta", values=values)
+    specs: List[RunSpec] = []
+    spec_rows: List[str] = []
+    for value in values:
+        for row in rows:
+            config = base_config(
+                theta=value, data_update_rate=1.0, **_MATRIX_ROWS[row]
+            )
+            specs.append(
+                RunSpec(
+                    config=config,
+                    label=f"FigMatrix: theta={value} row={row}",
+                )
+            )
+            spec_rows.append(row)
+    results = execute_runs(
+        specs, jobs=jobs, cache=cache, progress=progress, **execute_kwargs
+    )
+    for row in rows:
+        table.rows[row] = []
+    for row, result in zip(spec_rows, results):
+        table.rows[row].append(result)
     return table
 
 

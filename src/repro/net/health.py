@@ -30,6 +30,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.policies import registry
+
 __all__ = [
     "BREAKER_STATES",
     "CircuitBreaker",
@@ -248,6 +250,39 @@ SCORING_POLICIES: Dict[str, ScoringPolicy] = {
     "power-aware": _policy_power_aware,
     "epsilon-greedy": _policy_epsilon_greedy,
 }
+
+# Mirror the scoring table into the policy registry's "peer-scoring"
+# namespace so ``repro policies list`` and the conformance battery cover
+# replier selection alongside the cache-policy axes.  This dict stays the
+# canonical store (the tracker resolves through it directly).
+_SCORING_SUMMARIES: Dict[str, Tuple[str, str]] = {
+    "arrival": (
+        "first reply to arrive wins (golden-trace default)",
+        "Chow, Leong & Chan, ICDCS'04 §III",
+    ),
+    "least-pending": (
+        "fewest outstanding retrieves to the peer",
+        "Suresh et al., NSDI'15 (C3/absim queue-length signal)",
+    ),
+    "latency-aware": (
+        "lowest queue-adjusted EWMA retrieve latency",
+        "Suresh et al., NSDI'15 (C3 replica ranking)",
+    ),
+    "power-aware": (
+        "shortest reply path first; latency breaks ties",
+        "Chow, Leong & Chan, ICDCS'04 §V (power model)",
+    ),
+    "epsilon-greedy": (
+        "explore a uniform replier with probability epsilon",
+        "Sutton & Barto (epsilon-greedy bandit)",
+    ),
+}
+
+for _key, _fn in SCORING_POLICIES.items():
+    _summary, _citation = _SCORING_SUMMARIES[_key]
+    registry.register_value(
+        "peer-scoring", _key, _fn, summary=_summary, citation=_citation
+    )
 
 #: Whole-run engagement counters every tracker maintains; surfaced as
 #: ``health_*`` in :class:`~repro.sim.profile.RunProfile` counters.

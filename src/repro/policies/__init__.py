@@ -1,0 +1,56 @@
+"""String-keyed policy plugin registry and its factories (ROADMAP item 3).
+
+Public surface:
+
+* :mod:`repro.policies.registry` — ``register`` / ``resolve`` /
+  ``available`` / ``describe`` / ``entries`` over the five namespaces
+  (``scheme``, ``admission``, ``replacement``, ``discovery``,
+  ``peer-scoring``);
+* :mod:`repro.policies.factory` — legacy-mapping resolution from a
+  :class:`~repro.core.config.SimulationConfig` plus the per-namespace
+  builders used by the simulation wiring;
+* :mod:`repro.policies.conformance` — the battery every registered key
+  must pass (imported explicitly; it pulls in the simulation layer).
+
+This package ``__init__`` must stay import-light: ``repro.core.config``
+imports it for key validation, so nothing here may import the core
+simulation modules.
+"""
+
+from repro.policies.factory import (
+    build_admission,
+    build_discovery,
+    build_replacement,
+    custom_policies,
+    legacy_policy_keys,
+    resolved_policy_keys,
+)
+from repro.policies.registry import (
+    NAMESPACES,
+    PolicyInfo,
+    available,
+    describe,
+    entries,
+    register,
+    register_value,
+    resolve,
+    temporary_policy,
+)
+
+__all__ = [
+    "NAMESPACES",
+    "PolicyInfo",
+    "available",
+    "build_admission",
+    "build_discovery",
+    "build_replacement",
+    "custom_policies",
+    "describe",
+    "entries",
+    "legacy_policy_keys",
+    "register",
+    "register_value",
+    "resolve",
+    "resolved_policy_keys",
+    "temporary_policy",
+]

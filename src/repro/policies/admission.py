@@ -1,0 +1,215 @@
+"""Registered cache-admission policies for peer-supplied items.
+
+An admission policy decides whether the item a peer just served should be
+copied into the local cache.  :class:`MobileHost` consults it on *every*
+peer-supplied item (full cache or not); the legacy-equivalent policies
+(``always``, ``grococa``) short-circuit the not-full case exactly the way
+the pre-registry client did, so their decisions *and counters* replay the
+golden traces bit-identically.
+
+The two new on-path policies adapt ideas from in-network caching to the
+P2P flood: ``probcache`` admits probabilistically with the fetch
+distance (Psaras, Chai & Pavlou, ProbCache), ``lcd`` copies only from a
+direct neighbour so a popular item migrates one hop per fetch toward its
+requesters (Laoutaris et al., Leave-Copy-Down).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.admission import AdmissionControl
+from repro.policies.registry import register
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "GroCoCaAdmission",
+    "LeaveCopyDownAdmission",
+    "ProbCacheAdmission",
+]
+
+
+class AdmissionPolicy:
+    """Base class: decide whether to cache one peer-supplied item.
+
+    ``should_cache`` receives the full decision context:
+
+    * ``cache_full`` — whether an insertion would displace a victim;
+    * ``from_tcg_member`` — whether the serving peer is a TCG member
+      (always ``False`` outside GroCoCa);
+    * ``hops`` — the serving peer's distance on the reply path (>= 1).
+
+    ``enabled`` mirrors the legacy ``AdmissionControl.enabled`` flag:
+    ``False`` only for the pass-through ``always`` policy, so the ablation
+    tests keep reading the same attribute.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+
+    def should_cache(
+        self, *, cache_full: bool, from_tcg_member: bool, hops: int
+    ) -> bool:
+        raise NotImplementedError
+
+    def _count(self, decision: bool) -> bool:
+        if decision:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+        return decision
+
+
+class _LegacyAdmission(AdmissionPolicy):
+    """Shared shape of the two legacy-equivalent policies.
+
+    Wraps the original :class:`~repro.core.admission.AdmissionControl`
+    and only consults (and counts) it when the cache is full — the exact
+    call pattern of the pre-registry client, preserving both the
+    decisions and the ``admitted``/``rejected`` totals bit for bit.
+    """
+
+    def __init__(self, control_enabled: bool) -> None:
+        # The inner control must exist before super().__init__ zeroes the
+        # counters through the delegating property setters below.
+        self._inner = AdmissionControl(enabled=control_enabled)
+        super().__init__()
+        self.enabled = control_enabled
+
+    def should_cache(
+        self, *, cache_full: bool, from_tcg_member: bool, hops: int
+    ) -> bool:
+        if not cache_full:
+            return True
+        return self._inner.should_cache(
+            cache_full=True, from_tcg_member=from_tcg_member
+        )
+
+    @property
+    def admitted(self) -> int:  # type: ignore[override]
+        return self._inner.admitted
+
+    @admitted.setter
+    def admitted(self, value: int) -> None:
+        self._inner.admitted = value
+
+    @property
+    def rejected(self) -> int:  # type: ignore[override]
+        return self._inner.rejected
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._inner.rejected = value
+
+
+class AlwaysAdmit(_LegacyAdmission):
+    """Cache every peer-supplied item (LC/CC, and GroCoCa ablation A1)."""
+
+    def __init__(self) -> None:
+        super().__init__(control_enabled=False)
+
+
+class GroCoCaAdmission(_LegacyAdmission):
+    """Section IV-E: a full cache refuses TCG-member-supplied items."""
+
+    def __init__(self) -> None:
+        super().__init__(control_enabled=True)
+
+
+class ProbCacheAdmission(AdmissionPolicy):
+    """Probabilistic on-path admission weighted by fetch distance.
+
+    ProbCache caches with a probability that grows with the distance the
+    copy travelled, concentrating replicas near consumers without caching
+    every transit item.  Adapted to the bounded-hop flood: the admission
+    probability is ``hops / hop_dist`` — an item served by a direct
+    neighbour is usually left there (it is one hop away anyway), an item
+    fetched from the search horizon is always copied.  Draws come from
+    the dedicated ``admission-policy`` stream, so enabling the policy
+    shifts no other component's random sequence.
+    """
+
+    def __init__(self, hop_limit: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if hop_limit < 1:
+            raise ValueError("hop_limit must be >= 1")
+        if rng is None:
+            raise ValueError("probcache needs the admission-policy stream")
+        self.hop_limit = int(hop_limit)
+        self.rng = rng
+
+    def should_cache(
+        self, *, cache_full: bool, from_tcg_member: bool, hops: int
+    ) -> bool:
+        probability = min(1.0, max(1, hops) / self.hop_limit)
+        return self._count(float(self.rng.random()) < probability)
+
+
+class LeaveCopyDownAdmission(AdmissionPolicy):
+    """Copy only from a direct neighbour (leave-copy-down).
+
+    LCD creates one new replica per fetch, one hop below the serving
+    node, so popular items migrate toward their requesters fetch by fetch
+    instead of being replicated along the whole path.  In the flood
+    topology "one level down" is the requester itself only when the
+    server is a direct neighbour: multi-hop hits are *not* cached (the
+    intermediate relays will cache the item when they request it
+    themselves).
+    """
+
+    def should_cache(
+        self, *, cache_full: bool, from_tcg_member: bool, hops: int
+    ) -> bool:
+        return self._count(hops <= 1)
+
+
+# --------------------------------------------------------------------------
+# Registered builders (the factory contract for the "admission" namespace:
+# ``builder(config, rng) -> AdmissionPolicy``; ``rng`` is the shared
+# "admission-policy" stream, or None for deterministic policies).
+
+
+@register(
+    "admission",
+    "always",
+    summary="cache every peer-supplied item (LC/CC baseline, ablation A1)",
+    citation="Chow, Leong & Chan, ICDCS'04 §IV-E",
+)
+def _build_always(config, rng: Optional[np.random.Generator]) -> AdmissionPolicy:
+    return AlwaysAdmit()
+
+
+@register(
+    "admission",
+    "grococa",
+    summary="full cache refuses TCG-member-supplied items",
+    citation="Chow, Leong & Chan, ICDCS'04 §IV-E",
+)
+def _build_grococa(config, rng: Optional[np.random.Generator]) -> AdmissionPolicy:
+    return GroCoCaAdmission()
+
+
+@register(
+    "admission",
+    "probcache",
+    summary="admit with probability hops/hop_dist (distance-weighted)",
+    citation="Psaras, Chai & Pavlou, ICN'12 (ProbCache)",
+)
+def _build_probcache(config, rng: Optional[np.random.Generator]) -> AdmissionPolicy:
+    return ProbCacheAdmission(hop_limit=config.hop_dist, rng=rng)
+
+
+@register(
+    "admission",
+    "lcd",
+    summary="admit only items served by a direct neighbour",
+    citation="Laoutaris, Che & Stavrakakis, 2006 (Leave-Copy-Down)",
+)
+def _build_lcd(config, rng: Optional[np.random.Generator]) -> AdmissionPolicy:
+    return LeaveCopyDownAdmission()

@@ -1,0 +1,47 @@
+"""The peer-group discovery namespace.
+
+A discovery entry is a builder ``(config, monitor, tracer) ->
+Optional[TCGManager]``: it constructs the server-side peer-group
+discovery machinery, or returns ``None`` for schemes that form no
+groups.  GroCoCa's tightly-coupled-group manager (Algorithms 1-3 of the
+paper) is the one real strategy today; registering the axis makes the
+MSS wiring pluggable so alternative grouping rules (e.g. geographic
+constraints per Avrachenkov et al.) drop in as new keys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tcg import TCGManager
+from repro.policies.registry import register
+
+__all__ = []
+
+
+@register(
+    "discovery",
+    "none",
+    summary="no peer-group discovery (LC/CC)",
+    citation="Chow, Leong & Chan, ICDCS'04 §III",
+)
+def _build_none(config, monitor=None, tracer=None) -> Optional[TCGManager]:
+    return None
+
+
+@register(
+    "discovery",
+    "tcg",
+    summary="MSS-side tightly coupled group discovery (WADM + ASM)",
+    citation="Chow, Leong & Chan, ICDCS'04 §IV-A..C",
+)
+def _build_tcg(config, monitor=None, tracer=None) -> Optional[TCGManager]:
+    return TCGManager(
+        config.n_clients,
+        config.n_data,
+        config.distance_threshold,
+        config.similarity_threshold,
+        config.omega,
+        monitor=monitor,
+        tracer=tracer,
+    )

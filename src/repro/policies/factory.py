@@ -1,0 +1,132 @@
+"""Resolution of a config's policy choices through the registry.
+
+The bridge between :class:`~repro.core.config.SimulationConfig` and the
+registry: the config's explicit ``*_policy`` keys override a **legacy
+mapping** derived from the scheme and the ablation flags, so a config
+that sets no explicit key resolves to exactly the policies the
+pre-registry code hard-wired — which is how the four golden fixtures
+replay bit-identically through the registry path.
+
+Builder contracts per namespace (what :func:`registry.resolve` returns):
+
+========== =============================================================
+scheme      :class:`~repro.policies.schemes.SchemeSpec` (a value, not a
+            builder)
+admission   ``builder(config, rng) -> AdmissionPolicy``; ``rng`` is the
+            shared ``admission-policy`` stream (None unless the resolved
+            key is in :data:`RNG_ADMISSION_KEYS`)
+replacement ``builder(config, cache, signature_scheme, peer_signature)
+            -> ReplacementPolicy``
+discovery   ``builder(config, monitor, tracer) -> Optional[TCGManager]``
+peer-scoring ``(candidates, tracker) -> reply`` scoring callable (see
+            :mod:`repro.net.health`)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.policies import registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    import numpy as np
+
+    from repro.core.config import SimulationConfig
+
+__all__ = [
+    "RNG_ADMISSION_KEYS",
+    "admission_needs_rng",
+    "build_admission",
+    "build_discovery",
+    "build_replacement",
+    "custom_policies",
+    "legacy_policy_keys",
+    "resolved_policy_keys",
+]
+
+#: Admission keys whose builder draws from the ``admission-policy``
+#: stream.  The stream is created only for these, so deterministic
+#: policies add no RNG stream and replay identically.
+RNG_ADMISSION_KEYS = ("probcache",)
+
+
+def legacy_policy_keys(config: "SimulationConfig") -> Dict[str, str]:
+    """The registry keys the pre-registry code hard-wired for ``config``.
+
+    Derived from the scheme and the ablation flags only — the explicit
+    ``*_policy`` fields are deliberately ignored, so the differential
+    golden test can compare this mapping against an explicit-key config.
+    """
+    scheme = config.scheme
+    if scheme.group_based:
+        admission = "grococa" if config.admission_control else "always"
+        replacement = "grococa" if config.cooperative_replacement else "lru"
+        discovery = "tcg"
+    else:
+        admission = "always"
+        replacement = "lru"
+        discovery = "none"
+    return {
+        "scheme": scheme.value.lower(),
+        "admission": admission,
+        "replacement": replacement,
+        "discovery": discovery,
+        "peer-scoring": config.peer_policy,
+    }
+
+
+def resolved_policy_keys(config: "SimulationConfig") -> Dict[str, str]:
+    """The keys a run actually uses: explicit fields override the legacy
+    mapping, empty fields fall through to it."""
+    keys = legacy_policy_keys(config)
+    if config.admission_policy:
+        keys["admission"] = config.admission_policy
+    if config.replacement_policy:
+        keys["replacement"] = config.replacement_policy
+    if config.discovery_policy:
+        keys["discovery"] = config.discovery_policy
+    return keys
+
+
+def custom_policies(config: "SimulationConfig") -> bool:
+    """Whether any resolved key departs from the legacy mapping.
+
+    Gates the ``policy_*`` RunProfile counters: a config whose explicit
+    keys merely restate the legacy mapping gets the exact legacy counter
+    set, so golden fixtures and the differential test see no new fields.
+    """
+    return resolved_policy_keys(config) != legacy_policy_keys(config)
+
+
+def admission_needs_rng(config: "SimulationConfig") -> bool:
+    """Whether the resolved admission policy draws random numbers."""
+    return resolved_policy_keys(config)["admission"] in RNG_ADMISSION_KEYS
+
+
+def build_admission(
+    config: "SimulationConfig", rng: "Optional[np.random.Generator]" = None
+):
+    """The admission policy instance for one client."""
+    key = resolved_policy_keys(config)["admission"]
+    return registry.resolve("admission", key)(config, rng)
+
+
+def build_replacement(
+    config: "SimulationConfig",
+    cache,
+    *,
+    signature_scheme=None,
+    peer_signature=None,
+):
+    """The replacement policy instance for one client (and its cache)."""
+    key = resolved_policy_keys(config)["replacement"]
+    builder = registry.resolve("replacement", key)
+    return builder(config, cache, signature_scheme, peer_signature)
+
+
+def build_discovery(config: "SimulationConfig", monitor=None, tracer=None):
+    """The peer-group discovery machinery (None for group-less schemes)."""
+    key = resolved_policy_keys(config)["discovery"]
+    builder = registry.resolve("discovery", key)
+    return builder(config, monitor=monitor, tracer=tracer)

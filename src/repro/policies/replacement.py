@@ -1,0 +1,330 @@
+"""Registered cache-replacement policies.
+
+A replacement policy picks the victim a full cache evicts to admit one
+new entry, and optionally maintains auxiliary per-item state through the
+client's note hooks (``note_access`` / ``note_insert`` /
+``note_request`` / ``note_remote_request``).  Every policy is
+deterministic: victim selection walks the cache in LRU order and only a
+*strictly* better score displaces the running choice, so ties always
+break toward the least recently used entry and identical runs replay bit
+for bit.
+
+``lru`` and ``grococa`` reproduce the pre-registry behaviour exactly
+(the latter wraps :class:`~repro.core.replacement.CooperativeReplacement`
+unchanged).  The new variants adapt the replacement families surveyed by
+Joy & Jacob and Wang & Kulkarni's popularity ranking to the TTL-carrying
+P2P cache: ``lru-min`` prefers the candidate closest to expiry,
+``greedy-dual`` keeps an inflation-based H value seeded from the
+remaining TTL, ``popularity-rank`` evicts the item with the least
+observed demand (own requests plus overheard search floods).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.lru import CacheEntry, LRUCache
+from repro.core.replacement import CooperativeReplacement
+from repro.policies.registry import register
+
+__all__ = [
+    "GreedyDualReplacement",
+    "GroCoCaReplacement",
+    "LRUMinReplacement",
+    "LRUReplacement",
+    "PopularityRankReplacement",
+    "ReplacementPolicy",
+]
+
+#: Effective cost of a never-expiring entry for the TTL-aware policies;
+#: large enough to outrank any finite remaining TTL, finite so arithmetic
+#: with the GreedyDual inflation term stays well defined.
+_IMMORTAL_COST = 1e18
+
+
+class ReplacementPolicy:
+    """Base class: victim selection plus optional bookkeeping hooks.
+
+    All hooks default to no-ops so the legacy-equivalent policies add no
+    work to the hot path.  ``observes_requests`` gates the per-request
+    hooks in the client — a policy that does not set it never sees
+    ``note_request``/``note_remote_request`` calls at all.
+
+    ``enabled`` mirrors the legacy ``CooperativeReplacement.enabled``
+    flag: ``False`` only for the plain-LRU baseline, so the ablation
+    tests keep reading the same attribute.
+    """
+
+    #: Whether the client should feed request observations to this policy.
+    observes_requests: bool = False
+    enabled: bool = True
+
+    def __init__(self, cache: LRUCache) -> None:
+        self.cache = cache
+        self.evictions = 0
+
+    def new_entry_ttl(self) -> int:
+        """Initial SingletTTL for a freshly inserted entry (GroCoCa only)."""
+        return 0
+
+    def note_access(self, entry: CacheEntry, now: float) -> None:
+        """A local (or TCG-serving) access touched ``entry``."""
+
+    def note_insert(self, entry: CacheEntry, now: float) -> None:
+        """``entry`` was just inserted (or refreshed in place)."""
+
+    def note_request(self, item: int) -> None:
+        """The local host requested ``item`` (cached or not)."""
+
+    def note_remote_request(self, item: int) -> None:
+        """A search flood for ``item`` was overheard from a peer."""
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        """The entry to evict for one insertion; None when empty."""
+        raise NotImplementedError
+
+    def eviction_count(self) -> int:
+        """Victims chosen so far (the ``policy_evictions`` counter)."""
+        return self.evictions
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Plain LRU: evict the least recently used entry (LC/CC baseline)."""
+
+    enabled = False
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        if not len(self.cache):
+            return None
+        self.evictions += 1
+        return self.cache.lru_entries(1)[0]
+
+
+class GroCoCaReplacement(ReplacementPolicy):
+    """Section IV-E cooperative replacement, unchanged behind the hooks.
+
+    Wraps the original :class:`CooperativeReplacement` (replica-first
+    victim search over the ``ReplaceCandidate`` window with SingletTTL
+    aging), delegating every decision so registry-resolved GroCoCa runs
+    replay the goldens bit-identically.  The engagement counters
+    (``replica_evictions`` / ``lru_evictions`` / ``singlet_drops``) stay
+    readable through this wrapper.
+    """
+
+    def __init__(self, cache: LRUCache, inner: CooperativeReplacement) -> None:
+        super().__init__(cache)
+        self._inner = inner
+
+    def new_entry_ttl(self) -> int:
+        return self._inner.new_entry_ttl()
+
+    def note_access(self, entry: CacheEntry, now: float) -> None:
+        self._inner.note_access(entry)
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        return self._inner.select_victim()
+
+    def eviction_count(self) -> int:
+        inner = self._inner
+        return (
+            inner.replica_evictions + inner.lru_evictions + inner.singlet_drops
+        )
+
+    @property
+    def replica_evictions(self) -> int:
+        return self._inner.replica_evictions
+
+    @property
+    def lru_evictions(self) -> int:
+        return self._inner.lru_evictions
+
+    @property
+    def singlet_drops(self) -> int:
+        return self._inner.singlet_drops
+
+
+class LRUMinReplacement(ReplacementPolicy):
+    """TTL-adapted LRU-MIN: evict the candidate closest to expiry.
+
+    LRU-MIN refines LRU by preferring the least *valuable* entry within
+    the near-LRU region instead of blind recency.  The original ranks by
+    object size; with the paper's uniform item sizes the scarce resource
+    is freshness, so this adaptation ranks the ``candidates``
+    least-recently-used entries by absolute expiry time and evicts the
+    one that will die soonest.  With no updates configured every expiry
+    is infinite and the policy degenerates to plain LRU.
+    """
+
+    def __init__(self, cache: LRUCache, candidates: int) -> None:
+        super().__init__(cache)
+        if candidates < 1:
+            raise ValueError("candidates must be >= 1")
+        self.candidates = int(candidates)
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        if not len(self.cache):
+            return None
+        window = self.cache.lru_entries(self.candidates)
+        victim = window[0]
+        for entry in window[1:]:
+            if entry.expiry < victim.expiry:
+                victim = entry
+        self.evictions += 1
+        return victim
+
+
+class GreedyDualReplacement(ReplacementPolicy):
+    """TTL-aware GreedyDual: H = inflation + remaining TTL.
+
+    Each cached item carries a retention value ``H`` set on insert and
+    restored on every hit to ``L + cost``, where the cost is the entry's
+    remaining TTL (capped for never-expiring items) and ``L`` is the
+    global inflation.  Eviction takes the minimum-H entry and raises
+    ``L`` to it, so long-unreferenced items lose their head start no
+    matter how fresh they once were — the classic aging that makes
+    GreedyDual scan-resistant without timestamps.
+    """
+
+    def __init__(self, cache: LRUCache) -> None:
+        super().__init__(cache)
+        self._h: Dict[int, float] = {}
+        self._inflation = 0.0
+
+    def _cost(self, entry: CacheEntry, now: float) -> float:
+        remaining = entry.remaining_ttl(now)
+        if remaining >= _IMMORTAL_COST:
+            return _IMMORTAL_COST
+        return remaining
+
+    def note_insert(self, entry: CacheEntry, now: float) -> None:
+        self._h[entry.item] = self._inflation + self._cost(entry, now)
+
+    def note_access(self, entry: CacheEntry, now: float) -> None:
+        self._h[entry.item] = self._inflation + self._cost(entry, now)
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        if not len(self.cache):
+            return None
+        victim: Optional[CacheEntry] = None
+        best = float("inf")
+        for entry in self.cache.lru_entries(len(self.cache)):
+            value = self._h.get(entry.item, self._inflation)
+            if value < best:
+                best = value
+                victim = entry
+        self._inflation = best
+        if victim is not None:
+            self._h.pop(victim.item, None)
+        self.evictions += 1
+        return victim
+
+
+class PopularityRankReplacement(ReplacementPolicy):
+    """Popularity-ranking cooperative replacement (Wang & Kulkarni).
+
+    Ranks cached items by observed demand and evicts the least popular.
+    Demand is counted from two free signals: the host's own accesses and
+    the search floods it overhears for other hosts (``observes_requests``
+    turns the client's request hooks on).  Counts persist across
+    evictions, so a popular item that cycles out re-enters with its
+    reputation intact; the table is bounded by the database size.
+    """
+
+    observes_requests = True
+
+    def __init__(self, cache: LRUCache) -> None:
+        super().__init__(cache)
+        self._counts: Dict[int, int] = {}
+
+    def note_request(self, item: int) -> None:
+        self._counts[item] = self._counts.get(item, 0) + 1
+
+    def note_remote_request(self, item: int) -> None:
+        self._counts[item] = self._counts.get(item, 0) + 1
+
+    def popularity(self, item: int) -> int:
+        """Observed demand for ``item`` (own + overheard requests)."""
+        return self._counts.get(item, 0)
+
+    def select_victim(self, now: float) -> Optional[CacheEntry]:
+        if not len(self.cache):
+            return None
+        victim: Optional[CacheEntry] = None
+        best = -1
+        for entry in self.cache.lru_entries(len(self.cache)):
+            count = self._counts.get(entry.item, 0)
+            if victim is None or count < best:
+                best = count
+                victim = entry
+        self.evictions += 1
+        return victim
+
+
+# --------------------------------------------------------------------------
+# Registered builders (the factory contract for the "replacement"
+# namespace: ``builder(config, cache, signature_scheme, peer_signature)
+# -> ReplacementPolicy``; the signature arguments are None outside
+# GroCoCa).
+
+
+@register(
+    "replacement",
+    "lru",
+    summary="evict the least recently used entry (LC/CC baseline)",
+    citation="Chow, Leong & Chan, ICDCS'04 §VI",
+)
+def _build_lru(config, cache, signature_scheme, peer_signature):
+    return LRUReplacement(cache)
+
+
+@register(
+    "replacement",
+    "grococa",
+    summary="replica-first cooperative replacement with SingletTTL aging",
+    citation="Chow, Leong & Chan, ICDCS'04 §IV-E",
+)
+def _build_grococa(config, cache, signature_scheme, peer_signature):
+    if signature_scheme is None or peer_signature is None:
+        raise ValueError(
+            "replacement policy 'grococa' needs the GroCoCa signature "
+            "scheme (scheme GC)"
+        )
+    inner = CooperativeReplacement(
+        signature_scheme,
+        cache,
+        peer_signature,
+        config.replace_candidate,
+        config.replace_delay,
+        enabled=True,
+    )
+    return GroCoCaReplacement(cache, inner)
+
+
+@register(
+    "replacement",
+    "lru-min",
+    summary="evict the near-LRU candidate closest to expiry",
+    citation="Joy & Jacob, 2012 (cache replacement survey; LRU-MIN)",
+)
+def _build_lru_min(config, cache, signature_scheme, peer_signature):
+    return LRUMinReplacement(cache, config.replace_candidate)
+
+
+@register(
+    "replacement",
+    "greedy-dual",
+    summary="inflation-aged retention value seeded from remaining TTL",
+    citation="Young, 1994 / Cao & Irani, USITS'97 (GreedyDual)",
+)
+def _build_greedy_dual(config, cache, signature_scheme, peer_signature):
+    return GreedyDualReplacement(cache)
+
+
+@register(
+    "replacement",
+    "popularity-rank",
+    summary="evict the least-demanded item (own + overheard requests)",
+    citation="Wang & Kulkarni (popularity-ranking cooperative caching)",
+)
+def _build_popularity(config, cache, signature_scheme, peer_signature):
+    return PopularityRankReplacement(cache)

@@ -1,0 +1,60 @@
+"""The caching-scheme namespace: the paper's LC / CC / GC trio.
+
+A scheme entry is a frozen descriptor carrying the protocol shape flags
+(cooperation, group-basedness) and mapping back to the
+:class:`~repro.core.config.CachingScheme` enum on demand.  The CLI
+resolves ``--scheme`` through this namespace, so ``repro policies list``
+and the conformance battery cover the baselines alongside the pluggable
+admission/replacement/discovery axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policies.registry import register_value
+
+__all__ = ["SchemeSpec"]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One caching scheme: enum value and protocol-shape flags."""
+
+    name: str  # the CachingScheme enum value ("LC" / "CC" / "GC")
+    cooperative: bool
+    group_based: bool
+
+    def to_enum(self):
+        """The :class:`~repro.core.config.CachingScheme` member.
+
+        Imported lazily: ``repro.core.config`` imports the registry for
+        key validation, so the scheme table cannot import it back at
+        module load.
+        """
+        from repro.core.config import CachingScheme
+
+        return CachingScheme(self.name)
+
+
+register_value(
+    "scheme",
+    "lc",
+    SchemeSpec("LC", cooperative=False, group_based=False),
+    summary="conventional caching: no peer cooperation",
+    citation="Chow, Leong & Chan, ICDCS'04 §VI",
+)
+register_value(
+    "scheme",
+    "cc",
+    SchemeSpec("CC", cooperative=True, group_based=False),
+    summary="COCA: bounded-hop peer search and retrieve",
+    citation="Chow, Leong & Chan, ICDCS'04 §III",
+)
+register_value(
+    "scheme",
+    "gc",
+    SchemeSpec("GC", cooperative=True, group_based=True),
+    summary="GroCoCa: COCA plus TCGs, signatures, admission, replacement",
+    citation="Chow, Leong & Chan, ICDCS'04 §IV",
+)

@@ -75,6 +75,7 @@ def test_figure_choices_cover_all_paper_figures():
     assert set(FIGURES) == {f"fig{i}" for i in range(2, 9)} | {
         "fig-loss",
         "fig-policy",
+        "fig-matrix",
     }
     with pytest.raises(SystemExit):
         parse(["figure", "fig99"])

@@ -78,17 +78,14 @@ def test_monitor_off_results_identical():
 # -- the oracle catches an injected bug ----------------------------------------
 
 
-def _leaky_insert(self, entry, now):
-    """LRUCache.insert with the eviction path removed (the planted bug)."""
-    entry.last_access = now
-    self._entries[entry.item] = entry
-    self._entries.move_to_end(entry.item)
-    self.insertions += 1
-    return None
+#: The planted bug: the capacity check always passes, so neither the
+#: client's explicit-eviction path nor the cache's internal backstop in
+#: ``insert`` ever fires and the cache grows past capacity.
+_broken_is_full = property(lambda self: False)
 
 
 def test_injected_overcapacity_admit_is_caught(monkeypatch):
-    monkeypatch.setattr(LRUCache, "insert", _leaky_insert)
+    monkeypatch.setattr(LRUCache, "is_full", _broken_is_full)
     config = SimulationConfig(scheme=CachingScheme.LC, **SMALL)
     with pytest.raises(InvariantViolation) as excinfo:
         run_checked(config)
@@ -103,7 +100,7 @@ def test_injected_overcapacity_admit_is_caught(monkeypatch):
 
 
 def test_injected_bug_collect_mode_keeps_running(monkeypatch):
-    monkeypatch.setattr(LRUCache, "insert", _leaky_insert)
+    monkeypatch.setattr(LRUCache, "is_full", _broken_is_full)
     config = SimulationConfig(scheme=CachingScheme.LC, **SMALL)
     results, report = run_checked(config, mode="collect")
     assert not report.ok

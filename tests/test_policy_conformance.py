@@ -1,0 +1,106 @@
+"""Auto-parametrised conformance battery over every registered policy.
+
+``conformance_keys()`` enumerates the registry, so a policy added with
+one ``@register`` line is covered here with no test edits.  Each key's
+battery run is memoised at module scope: the four check assertions below
+share one report instead of re-running three simulations per check.
+
+The negative test proves the battery has teeth — a deliberately
+stateful policy (class-level counter leaking across runs) must fail the
+seed-stability check.
+"""
+
+import functools
+
+import pytest
+
+from repro.policies import registry
+from repro.policies.conformance import (
+    conformance_config,
+    conformance_keys,
+    run_conformance,
+)
+from repro.policies.replacement import ReplacementPolicy
+
+KEYS = conformance_keys()
+IDS = [f"{namespace}:{key}" for namespace, key in KEYS]
+
+
+@functools.lru_cache(maxsize=None)
+def report_for(namespace, key):
+    return run_conformance(namespace, key)
+
+
+def test_battery_covers_every_registered_policy():
+    expected = {
+        (namespace, key)
+        for namespace in registry.NAMESPACES
+        for key in registry.available(namespace)
+    }
+    assert set(KEYS) == expected
+    assert len(KEYS) == len(set(KEYS))
+
+
+@pytest.mark.parametrize("namespace,key", KEYS, ids=IDS)
+def test_registered_policy_passes_battery(namespace, key):
+    report = report_for(namespace, key)
+    assert report.passed, f"{namespace}:{key} failed: {report.failures}"
+    assert set(report.checks) == {
+        "invariants",
+        "smoke",
+        "seed_stable",
+        "round_trip",
+    }
+    assert all(report.checks.values()), report.checks
+
+
+@pytest.mark.parametrize("namespace,key", KEYS, ids=IDS)
+def test_conformance_config_resolves_the_requested_policy(namespace, key):
+    from repro.policies.factory import resolved_policy_keys
+
+    config = conformance_config(namespace, key)
+    if namespace == "peer-scoring":
+        assert config.peer_policy == key
+    elif namespace == "scheme":
+        assert config.scheme.value.lower() == key
+    else:
+        assert resolved_policy_keys(config)[namespace] == key
+
+
+def test_report_as_dict_is_json_shaped():
+    namespace, key = KEYS[0]
+    payload = report_for(namespace, key).as_dict()
+    assert payload["namespace"] == namespace
+    assert payload["key"] == key
+    assert isinstance(payload["checks"], dict)
+    assert isinstance(payload["failures"], list)
+    assert isinstance(payload["hit_ratio"], float)
+
+
+class _LeakyReplacement(ReplacementPolicy):
+    """Victim choice depends on a class-level counter: run-to-run state."""
+
+    calls = 0  # deliberately class-level — leaks across simulation runs
+
+    def select_victim(self, now):
+        if not len(self.cache):
+            return None
+        type(self).calls += 1
+        window = self.cache.lru_entries(2)
+        self.evictions += 1
+        return window[type(self).calls % len(window)]
+
+
+def test_battery_rejects_a_run_to_run_stateful_policy():
+    _LeakyReplacement.calls = 0
+
+    def build(config, cache, signature_scheme, peer_signature):
+        return _LeakyReplacement(cache)
+
+    with registry.temporary_policy(
+        "replacement", "tmp-leaky", build, summary="negative-test plant"
+    ):
+        report = run_conformance("replacement", "tmp-leaky")
+    assert not report.passed
+    assert not report.checks["seed_stable"]
+    assert any("seed_stable" in failure for failure in report.failures)

@@ -89,6 +89,33 @@ def test_config_rules_catch_seeded_violations(rule_id, marker):
     ), f"{rule_id} not reported at line {line}: {findings}"
 
 
+POLICY_CASES = [
+    ("policy-direct-instantiation", "MARK:policy-direct-admission"),
+    ("policy-direct-instantiation", "MARK:policy-direct-replacement"),
+    ("policy-direct-instantiation", "MARK:policy-direct-attribute"),
+]
+
+
+@pytest.mark.parametrize("rule_id,marker", POLICY_CASES)
+def test_policy_rule_catches_seeded_violations(rule_id, marker):
+    findings = findings_for("policy_violations.py")
+    line = marker_line("policy_violations.py", marker)
+    assert any(
+        f.rule == rule_id and f.line == line for f in findings
+    ), f"{rule_id} not reported at line {line}: {findings}"
+
+
+def test_policy_rule_spares_registry_resolution():
+    findings = findings_for("policy_violations.py")
+    policy = [f for f in findings if f.rule == "policy-direct-instantiation"]
+    flagged = {f.line for f in policy}
+    allowed = {
+        marker_line("policy_violations.py", "build_replacement(config, cache)"),
+        marker_line("policy_violations.py", "registry.resolve(namespace, key)"),
+    }
+    assert not flagged & allowed, policy
+
+
 def test_known_config_fields_are_not_flagged():
     findings = findings_for("config_violations.py")
     ok_line = marker_line("config_violations.py", '"n_clients": 4')

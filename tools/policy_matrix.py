@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run the conformance battery over every registered policy (CI gate).
+
+Usage::
+
+    PYTHONPATH=src python tools/policy_matrix.py [--report FILE]
+    PYTHONPATH=src python tools/policy_matrix.py --namespace replacement
+
+Iterates :func:`repro.policies.conformance.conformance_keys` — so a
+policy registered after this tool shipped is still covered with no
+edits — runs the four-check battery per key, prints one status line
+each, and exits non-zero when any policy fails.  ``--report`` writes the
+full per-policy check map as JSON for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.policies import registry
+from repro.policies.conformance import conformance_keys, run_conformance
+
+__all__ = ["main", "run_matrix"]
+
+
+def run_matrix(namespace: str | None = None) -> list:
+    """Battery reports for every registered ``(namespace, key)`` pair."""
+    reports = []
+    for ns, key in conformance_keys():
+        if namespace is not None and ns != namespace:
+            continue
+        report = run_conformance(ns, key)
+        status = "ok" if report.passed else "FAIL"
+        print(
+            f"  {status:<4} {ns + ':' + key:<30} "
+            f"hit_ratio={report.hit_ratio:6.2f}  "
+            f"checks={'/'.join(k for k, v in sorted(report.checks.items()) if v)}"
+        )
+        if not report.passed:
+            for failure in report.failures:
+                print(f"       - {failure}")
+        reports.append(report)
+    return reports
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--namespace",
+        choices=registry.NAMESPACES,
+        default=None,
+        help="restrict the matrix to one namespace",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the per-policy JSON report here",
+    )
+    args = parser.parse_args(argv)
+
+    print("policy conformance matrix:")
+    reports = run_matrix(args.namespace)
+    failed = [r for r in reports if not r.passed]
+
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "policies": [r.as_dict() for r in reports],
+            "total": len(reports),
+            "failed": len(failed),
+        }
+        args.report.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {args.report}")
+
+    print(
+        f"{len(reports)} policies, {len(reports) - len(failed)} passed, "
+        f"{len(failed)} failed"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
