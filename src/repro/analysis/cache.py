@@ -1,0 +1,154 @@
+"""Incremental result cache for simlint.
+
+Per-file findings are a pure function of (file text, rule code); the
+whole-program pass is a pure function of (every file's text, the docs
+the project rules read, rule code).  Both therefore cache cleanly under
+content hashes:
+
+* the **environment fingerprint** hashes the source of every module in
+  ``repro.analysis`` (rules included) — editing any rule invalidates the
+  whole cache at once, so a stale cache can never mask a new rule;
+* each file caches its *raw* findings (pre-pragma: the pragma layer is
+  re-applied every run, so editing only a pragma works without a cache
+  entry for it) under ``sha256(display_path NUL text)``;
+* the project pass caches under the hash of all file keys plus the doc
+  files the whole-program rules consume.
+
+Entries are JSON files under ``.repro-cache/lint/<env>/``; a cache
+directory from an older engine simply stops being read (its env
+fingerprint no longer matches) and can be deleted wholesale.  Cached
+and uncached runs produce byte-identical reports — the cache stores
+every :class:`LintViolation` field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.engine import LintViolation
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "LintCache",
+    "env_fingerprint",
+    "file_key",
+    "project_key",
+]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".repro-cache") / "lint"
+
+#: Docs the whole-program rules read; part of the project cache key.
+PROJECT_DOC_FILES = ("DESIGN.md", "EXPERIMENTS.md", "docs/POLICIES.md")
+
+_env_fingerprint: Optional[str] = None
+
+
+def env_fingerprint() -> str:
+    """Hash of the analysis engine's own source (rules included)."""
+    global _env_fingerprint
+    if _env_fingerprint is None:
+        package_root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(source.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _env_fingerprint = digest.hexdigest()[:16]
+    return _env_fingerprint
+
+
+def file_key(display_path: str, text: str) -> str:
+    """Content hash of one module (identity of its raw findings)."""
+    digest = hashlib.sha256()
+    digest.update(display_path.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(text.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def project_key(
+    file_keys: Sequence[str], project_root: Optional[Path]
+) -> str:
+    """Identity of the whole-program pass: all files plus the docs."""
+    digest = hashlib.sha256()
+    for key in sorted(file_keys):
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\0")
+    for relative in PROJECT_DOC_FILES:
+        digest.update(relative.encode("utf-8"))
+        digest.update(b"\0")
+        if project_root is not None:
+            doc = Path(project_root) / relative
+            try:
+                digest.update(doc.read_bytes())
+            except OSError:
+                pass
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _violation_to_dict(violation: LintViolation) -> Dict[str, object]:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "column": violation.column,
+        "message": violation.message,
+        "hint": violation.hint,
+        "severity": violation.severity,
+        "scope": violation.scope,
+        "start_line": violation.start_line,
+        "end_line": violation.end_line,
+    }
+
+
+def _violation_from_dict(payload: Dict[str, object]) -> LintViolation:
+    return LintViolation(
+        rule=str(payload["rule"]),
+        path=str(payload["path"]),
+        line=int(payload["line"]),  # type: ignore[arg-type]
+        column=int(payload["column"]),  # type: ignore[arg-type]
+        message=str(payload["message"]),
+        hint=str(payload.get("hint", "")),
+        severity=str(payload.get("severity", "error")),
+        scope=str(payload.get("scope", "file")),
+        start_line=int(payload.get("start_line", 0)),  # type: ignore[arg-type]
+        end_line=int(payload.get("end_line", 0)),  # type: ignore[arg-type]
+    )
+
+
+class LintCache:
+    """Content-addressed findings store under one cache directory."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.root = Path(cache_dir) / env_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.json"
+
+    def get(self, kind: str, key: str) -> Optional[List[LintViolation]]:
+        """Cached findings for ``key``, or None on a miss."""
+        path = self._entry_path(kind, key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            findings = [_violation_from_dict(row) for row in payload]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self, kind: str, key: str, findings: Sequence[LintViolation]
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        rows = [_violation_to_dict(violation) for violation in findings]
+        text = json.dumps(rows, sort_keys=True)
+        self._entry_path(kind, key).write_text(text, encoding="utf-8")

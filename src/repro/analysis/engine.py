@@ -28,7 +28,21 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.project.index import ProjectIndex
 
 __all__ = [
     "LintReport",
@@ -36,20 +50,37 @@ __all__ = [
     "LintViolation",
     "META_RULES",
     "ModuleSource",
+    "ProjectRule",
+    "all_project_rules",
     "all_rules",
+    "apply_pragmas",
+    "collect_findings",
     "display_path",
     "iter_python_files",
     "known_rule_ids",
     "lint_paths",
     "lint_source",
+    "project_rule_registry",
     "register",
+    "register_project",
     "rule_registry",
 ]
 
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One finding: rule id, location, message and a concrete fix hint."""
+    """One finding: rule id, location, message and a concrete fix hint.
+
+    ``scope`` distinguishes per-file AST findings (``"file"``) from
+    whole-program findings (``"project"``); the baseline fingerprints the
+    two differently (project findings are anchored by message, not source
+    line, because their anchor line often belongs to code that is only
+    *related* to the defect).  ``start_line``/``end_line`` bound the
+    pragma suppression window (0 means "same as ``line``"): a violation
+    anchored on a multiline statement is suppressible from any of its
+    lines, and one anchored on a decorated ``def`` from the decorator
+    lines as well.
+    """
 
     rule: str
     path: str
@@ -58,11 +89,21 @@ class LintViolation:
     message: str
     hint: str = ""
     severity: str = "error"
+    scope: str = "file"
+    start_line: int = 0
+    end_line: int = 0
 
     @property
     def location(self) -> str:
         """``path:line:column`` — the clickable form used by reports."""
         return f"{self.path}:{self.line}:{self.column}"
+
+    @property
+    def suppression_window(self) -> Tuple[int, int]:
+        """Inclusive line range an ``allow`` pragma may sit on."""
+        start = self.start_line or self.line
+        end = self.end_line or self.line
+        return (min(start, self.line), max(end, self.line))
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready mapping (the ``--format json`` payload rows)."""
@@ -74,11 +115,17 @@ class LintViolation:
             "message": self.message,
             "hint": self.hint,
             "severity": self.severity,
+            "scope": self.scope,
         }
 
 
 class ModuleSource:
-    """One parsed module: path, text, AST and an import-alias table."""
+    """One parsed module: path, text, AST and an import-alias table.
+
+    Parsing is lazy: the incremental cache (:mod:`repro.analysis.cache`)
+    can satisfy a warm run from content hashes alone, so a module whose
+    findings are cached never pays ``ast.parse``.
+    """
 
     def __init__(self, path: Path, text: str, display_path: Optional[str] = None):
         self.path = Path(path)
@@ -86,13 +133,38 @@ class ModuleSource:
         self.text = text
         self.lines: List[str] = text.splitlines()
         self.module = _module_name(self.path)
-        self.parse_error: Optional[SyntaxError] = None
+        self._parsed = False
+        self._parse_error: Optional[SyntaxError] = None
+        self._tree: Optional[ast.AST] = None
+        self._imports: Optional[Dict[str, str]] = None
+
+    def _ensure_parsed(self) -> None:
+        if self._parsed:
+            return
+        self._parsed = True
         try:
-            self.tree: ast.AST = ast.parse(text)
+            self._tree = ast.parse(self.text)
         except SyntaxError as error:
-            self.parse_error = error
-            self.tree = ast.Module(body=[], type_ignores=[])
-        self.imports = _import_table(self.tree)
+            self._parse_error = error
+            self._tree = ast.Module(body=[], type_ignores=[])
+        self._imports = _import_table(self._tree)
+
+    @property
+    def parse_error(self) -> Optional[SyntaxError]:
+        self._ensure_parsed()
+        return self._parse_error
+
+    @property
+    def tree(self) -> ast.AST:
+        self._ensure_parsed()
+        assert self._tree is not None
+        return self._tree
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        self._ensure_parsed()
+        assert self._imports is not None
+        return self._imports
 
     @classmethod
     def from_path(cls, path: Path, display_path: Optional[str] = None) -> "ModuleSource":
@@ -185,6 +257,7 @@ class LintRule:
         message: str,
         hint: Optional[str] = None,
     ) -> LintViolation:
+        start, end = _suppression_window(node)
         return LintViolation(
             rule=self.id,
             path=module.display_path,
@@ -193,19 +266,93 @@ class LintRule:
             message=message,
             hint=self.hint if hint is None else hint,
             severity=self.severity,
+            start_line=start,
+            end_line=end,
         )
 
 
+def _suppression_window(node: ast.AST) -> Tuple[int, int]:
+    """Lines an ``allow`` pragma may sit on for a finding anchored at ``node``.
+
+    A ``def``/``class`` anchor accepts the pragma on any decorator line or
+    header line (up to, not into, the body — a pragma inside the body
+    belongs to body statements).  Any other anchor accepts it anywhere in
+    the statement's physical extent, so multiline calls are suppressible
+    from the closing-paren line too.
+    """
+    line = getattr(node, "lineno", 1)
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        start = min([line, *(d.lineno for d in node.decorator_list)])
+        end = node.body[0].lineno - 1 if node.body else getattr(node, "end_lineno", line)
+        return start, max(end, line)
+    return line, getattr(node, "end_lineno", None) or line
+
+
 _REGISTRY: Dict[str, Type[LintRule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type["ProjectRule"]] = {}
 
 
 def register(cls: Type[LintRule]) -> Type[LintRule]:
     """Class decorator adding a rule to the global registry."""
     if not cls.id:
         raise ValueError(f"rule {cls.__name__} has no id")
-    if cls.id in _REGISTRY:
+    if cls.id in _REGISTRY or cls.id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {cls.id!r}")
     _REGISTRY[cls.id] = cls
+    return cls
+
+
+class ProjectRule:
+    """Base class for whole-program rules (``repro lint --project``).
+
+    Unlike :class:`LintRule`, a project rule sees the whole
+    :class:`~repro.analysis.project.index.ProjectIndex` at once and may
+    anchor findings in any module.  Findings carry ``scope="project"`` so
+    the baseline fingerprints them by message rather than source line.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    hint: str = ""
+
+    def check(self, project: "ProjectIndex") -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        module: ModuleSource,
+        node: Optional[ast.AST],
+        message: str,
+        hint: Optional[str] = None,
+    ) -> LintViolation:
+        if node is None:
+            line, column, window = 1, 1, (1, 1)
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) + 1
+            window = _suppression_window(node)
+        return LintViolation(
+            rule=self.id,
+            path=module.display_path,
+            line=line,
+            column=column,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            severity=self.severity,
+            scope="project",
+            start_line=window[0],
+            end_line=window[1],
+        )
+
+
+def register_project(cls: Type["ProjectRule"]) -> Type["ProjectRule"]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not cls.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if cls.id in _PROJECT_REGISTRY or cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _PROJECT_REGISTRY[cls.id] = cls
     return cls
 
 
@@ -235,14 +382,31 @@ def rule_registry() -> Dict[str, Type[LintRule]]:
     return dict(_REGISTRY)
 
 
+def project_rule_registry() -> Dict[str, Type["ProjectRule"]]:
+    """The registered whole-program rules by id (imports the rule modules)."""
+    from repro.analysis import (  # noqa: F401
+        rules_project_config,
+        rules_project_kernel,
+        rules_project_registry,
+        rules_project_rng,
+    )
+
+    return dict(_PROJECT_REGISTRY)
+
+
 def all_rules() -> List[LintRule]:
     """Fresh instances of every registered rule, sorted by id."""
     return [cls() for _, cls in sorted(rule_registry().items())]
 
 
+def all_project_rules() -> List["ProjectRule"]:
+    """Fresh instances of every whole-program rule, sorted by id."""
+    return [cls() for _, cls in sorted(project_rule_registry().items())]
+
+
 def known_rule_ids() -> Set[str]:
-    """Every id a pragma may legally name (AST rules + meta rules)."""
-    return set(rule_registry()) | set(META_RULES)
+    """Every id a pragma may legally name (AST + project + meta rules)."""
+    return set(rule_registry()) | set(project_rule_registry()) | set(META_RULES)
 
 
 # -- pragmas -----------------------------------------------------------------
@@ -307,10 +471,10 @@ def _meta_violation(
     )
 
 
-def lint_source(
+def collect_findings(
     module: ModuleSource, rules: Optional[Sequence[LintRule]] = None
 ) -> List[LintViolation]:
-    """Apply every rule plus the pragma layer to one module."""
+    """Raw per-file findings, before the pragma layer (cacheable)."""
     if module.parse_error is not None:
         line = module.parse_error.lineno or 1
         return [
@@ -333,7 +497,25 @@ def lint_source(
             if violation not in seen:
                 seen.add(violation)
                 found.append(violation)
+    return found
 
+
+def apply_pragmas(
+    module: ModuleSource,
+    found: Sequence[LintViolation],
+    project: bool = False,
+) -> List[LintViolation]:
+    """Suppress ``found`` through the module's pragmas and audit them.
+
+    Applied exactly once per module over the *merged* per-file and
+    project-scope findings, so a pragma whose only job is excusing a
+    whole-program finding still counts as used.  ``project`` states
+    whether whole-program findings are part of ``found``: in a file-only
+    run a pragma naming only project rules is exempt from the
+    ``pragma-unused`` audit (its findings were never computed).
+    """
+    if module.parse_error is not None:
+        return sorted(found, key=lambda v: (v.line, v.column, v.rule))
     pragmas = _parse_pragmas(module)
     known = known_rule_ids()
     results: List[LintViolation] = []
@@ -374,8 +556,13 @@ def lint_source(
             continue
         results.append(violation)
 
+    project_ids = set(project_rule_registry())
     for pragma in pragmas:
         if pragma.has_reason and not pragma.used and all(r in known for r in pragma.rules):
+            if not project and pragma.rules and all(
+                r in project_ids for r in pragma.rules
+            ):
+                continue
             results.append(
                 _meta_violation(
                     module,
@@ -390,13 +577,21 @@ def lint_source(
     return results
 
 
+def lint_source(
+    module: ModuleSource, rules: Optional[Sequence[LintRule]] = None
+) -> List[LintViolation]:
+    """Apply every rule plus the pragma layer to one module."""
+    return apply_pragmas(module, collect_findings(module, rules))
+
+
 def _suppressed(violation: LintViolation, pragmas: List[_Pragma]) -> bool:
     if violation.rule in META_RULES:
         return False
+    start, end = violation.suppression_window
     for pragma in pragmas:
         if violation.rule not in pragma.rules:
             continue
-        if pragma.scope == "allow-file" or pragma.line == violation.line:
+        if pragma.scope == "allow-file" or start <= pragma.line <= end:
             pragma.used = True
             return True
     return False

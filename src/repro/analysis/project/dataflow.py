@@ -1,0 +1,403 @@
+"""Taint-style provenance tracing for RNG handles.
+
+:func:`trace_rng_expr` walks an expression *backwards* through the
+project — local assignments, ``self.attr`` assignments in any method of
+the class, function returns, and (via the call graph's recorded call
+sites) from a parameter to every argument expression feeding it — and
+classifies what the expression can hold:
+
+* ``stream``  — a ``RandomStreams(...).stream(<name>)`` handle;
+* ``streams`` — a ``RandomStreams`` instance itself;
+* ``value``   — *definitely* something else (a literal, or an instance
+  of an in-project class that is not ``RandomStreams``);
+* ``opaque``  — the trace hit a frontier it cannot see past (an
+  external library, a parameter with no resolved call sites, the depth
+  limit, a mixed merge).
+
+The asymmetry is the point: rules flag only ``value`` origins —
+"provably not a stream" — and treat ``opaque`` as innocent, so the
+whole-program pass under-approximates instead of drowning real code in
+unprovable findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import ModuleSource
+from repro.analysis.project.callgraph import CallGraph, CallSite, local_class_names
+from repro.analysis.project.index import FunctionInfo, ProjectIndex
+
+__all__ = ["DRAW_METHODS", "Origin", "stream_name", "trace_rng_expr"]
+
+#: numpy Generator draw methods — a call to one of these *consumes* entropy.
+DRAW_METHODS: FrozenSet[str] = frozenset(
+    {
+        "random",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "exponential",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "binomial",
+        "geometric",
+        "bytes",
+    }
+)
+
+#: The class every stream must derive from, matched by bare name so
+#: fixture projects can ship their own stand-in.
+_STREAMS_CLASS = "RandomStreams"
+
+_MAX_DEPTH = 10
+
+Origin_kinds = ("stream", "streams", "value", "opaque")
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where an RNG expression's value provably comes from."""
+
+    kind: str  # one of Origin_kinds
+    detail: str = ""  # stream name / description of the non-stream value
+    module: str = ""  # module where the origin expression lives
+
+
+OPAQUE = Origin("opaque")
+
+
+def stream_name(call: ast.Call) -> Optional[str]:
+    """The statically-evident name of a ``.stream(<arg>)`` call.
+
+    String literals resolve exactly; f-strings resolve to a template
+    with ``{}`` placeholders (still useful for cross-module sharing
+    checks); anything else resolves to ``None``.
+    """
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.JoinedStr):
+        parts: List[str] = []
+        for piece in arg.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            else:
+                parts.append("{}")
+        template = "".join(parts)
+        return template if template.strip("{}") else None
+    return None
+
+
+def _merge(origins: Sequence[Origin]) -> Origin:
+    """Combine origins from alternative paths: definite only if unanimous."""
+    if not origins:
+        return OPAQUE
+    kinds = {origin.kind for origin in origins}
+    if "opaque" in kinds:
+        return OPAQUE
+    if kinds == {"value"}:
+        return origins[0]
+    if kinds <= {"stream", "streams"}:
+        for origin in origins:
+            if origin.kind == "stream":
+                return origin
+        return origins[0]
+    return OPAQUE  # mixed stream/value — cannot rule either way
+
+
+def _bare_callee_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _function_assignments(
+    function: FunctionInfo, name: str
+) -> List[ast.expr]:
+    """Every expression assigned to local ``name`` inside ``function``."""
+    values: List[ast.expr] = []
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    values.append(node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+            and node.value is not None
+        ):
+            values.append(node.value)
+    return values
+
+
+def _module_assignments(module: ModuleSource, name: str) -> List[ast.expr]:
+    values: List[ast.expr] = []
+    for node in getattr(module.tree, "body", []):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    values.append(node.value)
+    return values
+
+
+def _param_names(function: FunctionInfo) -> List[str]:
+    args = function.node.args
+    names = [a.arg for a in [*args.posonlyargs, *args.args]]
+    return names
+
+
+def _argument_for_param(
+    site: CallSite, function: FunctionInfo, param: str
+) -> Optional[ast.expr]:
+    """The argument expression a call site passes for ``param``."""
+    names = _param_names(function)
+    if function.is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    for keyword in site.call.keywords:
+        if keyword.arg == param:
+            return keyword.value
+    try:
+        position = names.index(param)
+    except ValueError:
+        return None
+    if position < len(site.call.args):
+        arg = site.call.args[position]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+def trace_rng_expr(
+    index: ProjectIndex,
+    graph: CallGraph,
+    module: ModuleSource,
+    context: Optional[FunctionInfo],
+    expr: ast.expr,
+    depth: int = _MAX_DEPTH,
+    seen: Optional[Set[Tuple[str, str]]] = None,
+) -> Origin:
+    """Classify what ``expr`` (evaluated in ``context``) can hold."""
+    if depth <= 0:
+        return OPAQUE
+    if seen is None:
+        seen = set()
+
+    if isinstance(expr, ast.Call):
+        return _trace_call(index, graph, module, context, expr, depth, seen)
+    if isinstance(expr, ast.Name):
+        return _trace_name(index, graph, module, context, expr.id, depth, seen)
+    if isinstance(expr, ast.Attribute):
+        return _trace_attribute(index, graph, module, context, expr, depth, seen)
+    if isinstance(expr, ast.IfExp):
+        return _merge(
+            [
+                trace_rng_expr(index, graph, module, context, side, depth - 1, seen)
+                for side in (expr.body, expr.orelse)
+            ]
+        )
+    if isinstance(expr, ast.BoolOp):
+        return _merge(
+            [
+                trace_rng_expr(index, graph, module, context, side, depth - 1, seen)
+                for side in expr.values
+            ]
+        )
+    if isinstance(expr, ast.Subscript):
+        return _trace_subscript(index, graph, module, context, expr, depth, seen)
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return trace_rng_expr(index, graph, module, context, expr.elt, depth - 1, seen)
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        if not expr.elts:
+            return Origin("value", "empty container", module.module)
+        return _merge(
+            [
+                trace_rng_expr(index, graph, module, context, e, depth - 1, seen)
+                for e in expr.elts
+            ]
+        )
+    if isinstance(expr, ast.Constant):
+        if expr.value is None:
+            return OPAQUE  # None legs of Optional handles are not draws
+        return Origin("value", f"literal {expr.value!r}", module.module)
+    return OPAQUE
+
+
+def _trace_call(
+    index: ProjectIndex,
+    graph: CallGraph,
+    module: ModuleSource,
+    context: Optional[FunctionInfo],
+    call: ast.Call,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Origin:
+    func = call.func
+    bare = _bare_callee_name(func)
+    if bare == _STREAMS_CLASS:
+        return Origin("streams", _STREAMS_CLASS, module.module)
+    if isinstance(func, ast.Attribute) and func.attr == "stream":
+        receiver = trace_rng_expr(
+            index, graph, module, context, func.value, depth - 1, seen
+        )
+        if receiver.kind in ("streams", "opaque"):
+            name = stream_name(call)
+            return Origin("stream", name or "<dynamic>", module.module)
+        return receiver
+    resolved = index.resolve_call_target(module, func)
+    if resolved is None:
+        return OPAQUE
+    if resolved in index.classes:
+        info = index.classes[resolved]
+        if info.name == _STREAMS_CLASS:
+            return Origin("streams", _STREAMS_CLASS, module.module)
+        return Origin("value", f"{info.name} instance", info.module)
+    function = index.functions.get(resolved)
+    if function is None:
+        return OPAQUE
+    key = ("returns", resolved)
+    if key in seen:
+        return OPAQUE
+    seen.add(key)
+    returns = [
+        node.value
+        for node in ast.walk(function.node)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return OPAQUE
+    target_module = index.modules[function.module]
+    return _merge(
+        [
+            trace_rng_expr(index, graph, target_module, function, r, depth - 1, seen)
+            for r in returns
+        ]
+    )
+
+
+def _trace_name(
+    index: ProjectIndex,
+    graph: CallGraph,
+    module: ModuleSource,
+    context: Optional[FunctionInfo],
+    name: str,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Origin:
+    if context is not None:
+        assigned = _function_assignments(context, name)
+        if assigned:
+            return _merge(
+                [
+                    trace_rng_expr(index, graph, module, context, a, depth - 1, seen)
+                    for a in assigned
+                ]
+            )
+        if name in _param_names(context):
+            return _trace_param(index, graph, context, name, depth, seen)
+    module_assigned = _module_assignments(module, name)
+    if module_assigned:
+        return _merge(
+            [
+                trace_rng_expr(index, graph, module, None, a, depth - 1, seen)
+                for a in module_assigned
+            ]
+        )
+    return OPAQUE
+
+
+def _trace_param(
+    index: ProjectIndex,
+    graph: CallGraph,
+    function: FunctionInfo,
+    param: str,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Origin:
+    key = ("param", f"{function.qualname}:{param}")
+    if key in seen:
+        return OPAQUE
+    seen.add(key)
+    sites = graph.call_sites(function.qualname)
+    if not sites:
+        return OPAQUE
+    origins: List[Origin] = []
+    for site in sites:
+        argument = _argument_for_param(site, function, param)
+        if argument is None:
+            origins.append(OPAQUE)
+            continue
+        origins.append(
+            trace_rng_expr(
+                index, graph, site.module, site.caller, argument, depth - 1, seen
+            )
+        )
+    return _merge(origins)
+
+
+def _trace_attribute(
+    index: ProjectIndex,
+    graph: CallGraph,
+    module: ModuleSource,
+    context: Optional[FunctionInfo],
+    expr: ast.Attribute,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Origin:
+    owners: List[str] = []
+    receiver = expr.value
+    if (
+        isinstance(receiver, ast.Name)
+        and receiver.id == "self"
+        and context is not None
+        and context.class_name is not None
+    ):
+        owners = [f"{context.module}.{context.class_name}"]
+    elif isinstance(receiver, ast.Name) and context is not None:
+        owners = local_class_names(index, module, context).get(receiver.id, [])
+    if not owners:
+        return OPAQUE
+    origins: List[Origin] = []
+    for owner in owners:
+        key = ("attr", f"{owner}.{expr.attr}")
+        if key in seen:
+            return OPAQUE
+        seen.add(key)
+        assignments = index.attr_assignments(owner, expr.attr)
+        if not assignments:
+            origins.append(OPAQUE)
+            continue
+        for method, value in assignments:
+            method_module = index.modules[method.module]
+            origins.append(
+                trace_rng_expr(
+                    index, graph, method_module, method, value, depth - 1, seen
+                )
+            )
+    return _merge(origins)
+
+
+def _trace_subscript(
+    index: ProjectIndex,
+    graph: CallGraph,
+    module: ModuleSource,
+    context: Optional[FunctionInfo],
+    expr: ast.Subscript,
+    depth: int,
+    seen: Set[Tuple[str, str]],
+) -> Origin:
+    # ``rngs[i]`` where ``rngs`` is a traced container: the element origin
+    # is what matters, and the container trace already unwraps
+    # comprehensions and displays to their elements.
+    return trace_rng_expr(index, graph, module, context, expr.value, depth - 1, seen)

@@ -1,0 +1,133 @@
+"""Whole-program config/Results field flow.
+
+The per-file config rules check that *references* name real fields and
+that fields carry a constructed-time contract (``config-field-unvalidated``
+— validation is a single-file property of ``__post_init__``, so it stays
+per-file).  What only a whole-program view can decide is whether a field
+participates in the system at all:
+
+* ``config-field-flow`` (warning) —
+  a ``SimulationConfig``/``Results`` field that no module outside its
+  defining one ever reads (attribute access or string-literal mention:
+  ``getattr``/``as_dict``/sampler column names all count), or a field
+  absent from the operator-facing docs (``DESIGN.md`` and
+  ``EXPERIMENTS.md``): a knob nobody can discover, or a metric nobody
+  reports, is drift between code and paper.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.engine import (
+    LintViolation,
+    ProjectRule,
+    register_project,
+)
+from repro.analysis.project.index import ClassInfo, ProjectIndex
+
+__all__ = ["ConfigFieldFlowRule"]
+
+#: Docs a field must be mentioned in (relative to the project root).
+_DOC_FILES = ("DESIGN.md", "EXPERIMENTS.md")
+
+
+def _class_fields(info: ClassInfo) -> List[Tuple[str, ast.AnnAssign]]:
+    """(name, node) of every dataclass field (ClassVar excluded)."""
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for node in info.node.body:
+        if not (isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name)):
+            continue
+        annotation = node.annotation
+        head = ""
+        if isinstance(annotation, ast.Subscript) and isinstance(
+            annotation.value, ast.Name
+        ):
+            head = annotation.value.id
+        elif isinstance(annotation, ast.Name):
+            head = annotation.id
+        if head == "ClassVar":
+            continue
+        fields.append((node.target.id, node))
+    return fields
+
+
+def _word_mentions(text: str, words: Set[str]) -> Set[str]:
+    """Which of ``words`` appear as whole words in ``text``."""
+    found: Set[str] = set()
+    for match in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*", text):
+        token = match.group(0)
+        if token in words:
+            found.add(token)
+    return found
+
+
+@register_project
+class ConfigFieldFlowRule(ProjectRule):
+    """Every config knob and result metric must be read and documented."""
+
+    id = "config-field-flow"
+    severity = "warning"
+    description = (
+        "a SimulationConfig/Results field nobody reads is a dead knob (a "
+        "silently ignored setting), and one missing from DESIGN.md/"
+        "EXPERIMENTS.md cannot be discovered by operators"
+    )
+    hint = (
+        "wire the field into the code path that should consume it (or "
+        "delete it), and add it to the reference tables in DESIGN.md / "
+        "EXPERIMENTS.md"
+    )
+
+    #: Class bare names whose fields are under contract.
+    _CLASSES = ("SimulationConfig", "Results")
+
+    def check(self, project: ProjectIndex) -> Iterator[LintViolation]:
+        docs_text = "\n".join(
+            text
+            for relative in _DOC_FILES
+            if (text := project.read_doc(relative)) is not None
+        )
+        for class_name in self._CLASSES:
+            for info in project.classes_named(class_name):
+                yield from self._check_class(project, info, docs_text)
+
+    def _check_class(
+        self, project: ProjectIndex, info: ClassInfo, docs_text: str
+    ) -> Iterator[LintViolation]:
+        fields = _class_fields(info)
+        if not fields:
+            return
+        names = {name for name, _node in fields}
+        read: Set[str] = set()
+        for module in project.modules.values():
+            if module.module == info.module:
+                continue  # reads in the defining module don't count
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute) and node.attr in names:
+                    read.add(node.attr)
+                elif (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in names
+                ):
+                    read.add(node.value)
+        documented = _word_mentions(docs_text, names) if docs_text else set()
+        module = project.modules[info.module]
+        for name, node in sorted(fields, key=lambda item: item[1].lineno):
+            if name not in read:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{info.name} field {name!r} is never read outside "
+                    f"{info.module} — a dead knob",
+                )
+            if docs_text and name not in documented:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{info.name} field {name!r} is absent from "
+                    + " and ".join(_DOC_FILES),
+                )

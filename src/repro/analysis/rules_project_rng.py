@@ -1,0 +1,215 @@
+"""Whole-program RNG provenance rules.
+
+The per-file determinism rules stop entropy from being *created* outside
+:mod:`repro.sim.random`; these rules police how the sanctioned handles
+*flow*.  Every draw must trace — through local assignments, object
+attributes, constructor arguments and function returns — back to a named
+``RandomStreams`` stream:
+
+* ``rng-provenance`` — a ``.stream(<name>)`` call whose name is not a
+  string literal or f-string (the stream identity is invisible to a
+  reader and to this linter), or a draw whose receiver *provably* holds
+  something that is not a ``RandomStreams`` stream;
+* ``rng-shared-stream`` — one named stream drawn from or created in two
+  or more modules.  Per-component streams exist precisely so layers
+  cannot perturb each other's draw sequences; a shared name couples
+  them again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import (
+    LintViolation,
+    ModuleSource,
+    ProjectRule,
+    register_project,
+)
+from repro.analysis.project.callgraph import CallGraph, build_call_graph
+from repro.analysis.project.dataflow import DRAW_METHODS, stream_name, trace_rng_expr
+from repro.analysis.project.index import FunctionInfo, ProjectIndex
+
+__all__ = ["RngProvenanceRule", "RngSharedStreamRule"]
+
+
+def _receiver_tail(expr: ast.expr) -> str:
+    """The final identifier of a receiver expression ('' when none)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):
+        return _receiver_tail(expr.value)
+    return ""
+
+
+def _is_rng_named(tail: str) -> bool:
+    return "rng" in tail.lower()
+
+
+def _is_generator_annotated(
+    context: Optional[FunctionInfo], module: ModuleSource, name: str
+) -> bool:
+    """Is ``name`` a parameter annotated as a numpy Generator?"""
+    if context is None:
+        return False
+    args = context.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg != name or arg.annotation is None:
+            continue
+        annotation = arg.annotation
+        dotted = module.qualified_name(annotation)
+        if dotted is not None and dotted.startswith("numpy.random."):
+            return True
+        if isinstance(annotation, ast.Attribute) and annotation.attr == "Generator":
+            return True
+        if isinstance(annotation, ast.Name) and annotation.id == "Generator":
+            return True
+    return False
+
+
+def _function_contexts(
+    index: ProjectIndex,
+) -> Iterator[Tuple[ModuleSource, Optional[FunctionInfo], ast.AST]]:
+    """(module, context, root node) for every code context in the project."""
+    for module in index.modules.values():
+        for statement in getattr(module.tree, "body", []):
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield module, None, statement
+    for function in index.functions.values():
+        yield index.modules[function.module], function, function.node
+
+
+def _calls_in(root: ast.AST) -> Iterator[ast.Call]:
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef) and node is not root:
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_project
+class RngProvenanceRule(ProjectRule):
+    """Every draw must trace to a named RandomStreams stream."""
+
+    id = "rng-provenance"
+    description = (
+        "a draw whose handle provably does not come from a named "
+        "RandomStreams stream breaks the one-seed determinism contract "
+        "even though no banned constructor appears in this file"
+    )
+    hint = (
+        "derive the handle from RandomStreams(seed).stream('<component>') "
+        "and pass it down explicitly"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[LintViolation]:
+        graph = build_call_graph(project)
+        for module, context, root in _function_contexts(project):
+            for call in _calls_in(root):
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "stream":
+                    yield from self._check_stream_call(module, context, call)
+                elif func.attr in DRAW_METHODS:
+                    yield from self._check_draw(
+                        project, graph, module, context, call
+                    )
+
+    def _check_stream_call(
+        self,
+        module: ModuleSource,
+        context: Optional[FunctionInfo],
+        call: ast.Call,
+    ) -> Iterator[LintViolation]:
+        assert isinstance(call.func, ast.Attribute)
+        tail = _receiver_tail(call.func.value).lower()
+        if "stream" not in tail and "rng" not in tail:
+            return  # not a RandomStreams receiver (e.g. an io stream)
+        if stream_name(call) is None:
+            yield self.violation(
+                module,
+                call,
+                "stream name is not statically resolvable; use a string "
+                "literal or an f-string with a literal component prefix",
+            )
+
+    def _check_draw(
+        self,
+        project: ProjectIndex,
+        graph: CallGraph,
+        module: ModuleSource,
+        context: Optional[FunctionInfo],
+        call: ast.Call,
+    ) -> Iterator[LintViolation]:
+        assert isinstance(call.func, ast.Attribute)
+        receiver = call.func.value
+        tail = _receiver_tail(receiver)
+        rng_ish = _is_rng_named(tail) or (
+            isinstance(receiver, ast.Name)
+            and _is_generator_annotated(context, module, receiver.id)
+        )
+        if not rng_ish:
+            return
+        origin = trace_rng_expr(project, graph, module, context, receiver)
+        if origin.kind == "value":
+            where = f" in {origin.module}" if origin.module else ""
+            yield self.violation(
+                module,
+                call,
+                f"draw .{call.func.attr}() on {tail!r} traces to "
+                f"{origin.detail}{where}, not a RandomStreams stream",
+            )
+
+
+@register_project
+class RngSharedStreamRule(ProjectRule):
+    """One named stream must belong to exactly one module."""
+
+    id = "rng-shared-stream"
+    description = (
+        "two modules deriving the same named stream share one draw "
+        "sequence; adding a draw in either silently perturbs the other, "
+        "which is exactly the coupling per-component streams exist to "
+        "prevent"
+    )
+    hint = "give each component its own stream name (e.g. '<layer>-<use>')"
+
+    def check(self, project: ProjectIndex) -> Iterator[LintViolation]:
+        # stream name -> module -> first .stream(...) site
+        sites: Dict[str, Dict[str, Tuple[ModuleSource, Optional[FunctionInfo], ast.Call]]] = {}
+        for module, context, root in _function_contexts(project):
+            for call in _calls_in(root):
+                func = call.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+                    continue
+                tail = _receiver_tail(func.value).lower()
+                if "stream" not in tail and "rng" not in tail:
+                    continue
+                name = stream_name(call)
+                if name is None:
+                    continue
+                per_module = sites.setdefault(name, {})
+                per_module.setdefault(module.module, (module, context, call))
+        for name in sorted(sites):
+            per_module = sites[name]
+            if len(per_module) < 2:
+                continue
+            modules = ", ".join(sorted(per_module))
+            for module_name in sorted(per_module):
+                module, _context, call = per_module[module_name]
+                yield self.violation(
+                    module,
+                    call,
+                    f"stream {name!r} is derived in {len(per_module)} "
+                    f"modules ({modules}); named streams must have exactly "
+                    "one owner",
+                )

@@ -312,6 +312,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline to grandfather the current findings",
     )
     lint_parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="remove baseline entries that no longer match any finding "
+        "(entries that still fire are kept)",
+    )
+    lint_parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (call-graph / dataflow) "
+        "over the full file set",
+    )
+    lint_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute all findings, bypassing .repro-cache/lint/",
+    )
+    lint_parser.add_argument(
         "--json-report",
         metavar="FILE",
         help="also write the JSON report to FILE (the CI artifact)",
@@ -468,9 +485,17 @@ def _run_lint_command(args: argparse.Namespace) -> int:
         baseline = Path(args.baseline)
     else:
         baseline = DEFAULT_BASELINE
-    if args.update_baseline and baseline is None:
+    if (args.update_baseline or args.prune_baseline) and baseline is None:
         print(
-            "repro lint: error: --update-baseline conflicts with --no-baseline",
+            "repro lint: error: --update-baseline/--prune-baseline "
+            "conflict with --no-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and args.prune_baseline:
+        print(
+            "repro lint: error: --update-baseline and --prune-baseline "
+            "are mutually exclusive",
             file=sys.stderr,
         )
         return 2
@@ -478,8 +503,11 @@ def _run_lint_command(args: argparse.Namespace) -> int:
         [Path(p) for p in args.paths],
         baseline_path=baseline,
         update_baseline=args.update_baseline,
+        prune_baseline=args.prune_baseline,
         output_format=args.output_format,
         json_report=Path(args.json_report) if args.json_report else None,
+        project=args.project,
+        use_cache=not args.no_cache,
     )
 
 

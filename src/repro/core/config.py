@@ -188,6 +188,12 @@ class SimulationConfig:
             raise ValueError("area dimensions must be positive")
         if not 0 < self.v_min <= self.v_max:
             raise ValueError("speeds must satisfy 0 < v_min <= v_max")
+        if self.group_span < 0:
+            raise ValueError("group_span must be >= 0")
+        if self.pause_time < 0:
+            raise ValueError("pause_time must be >= 0")
+        if self.position_resolution < 0:
+            raise ValueError("position_resolution must be >= 0")
         if self.distance_threshold <= 0:
             raise ValueError("distance_threshold must be positive")
         if not 0.0 <= self.similarity_threshold <= 1.0:

@@ -24,6 +24,7 @@ CSV_COLUMNS = [
     "scheme",
     "requests",
     "access_latency",
+    "latency_stddev",
     "server_request_ratio",
     "gch_ratio",
     "lch_ratio",

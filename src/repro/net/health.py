@@ -253,36 +253,45 @@ SCORING_POLICIES: Dict[str, ScoringPolicy] = {
 
 # Mirror the scoring table into the policy registry's "peer-scoring"
 # namespace so ``repro policies list`` and the conformance battery cover
-# replier selection alongside the cache-policy axes.  This dict stays the
-# canonical store (the tracker resolves through it directly).
-_SCORING_SUMMARIES: Dict[str, Tuple[str, str]] = {
-    "arrival": (
-        "first reply to arrive wins (golden-trace default)",
-        "Chow, Leong & Chan, ICDCS'04 §III",
-    ),
-    "least-pending": (
-        "fewest outstanding retrieves to the peer",
-        "Suresh et al., NSDI'15 (C3/absim queue-length signal)",
-    ),
-    "latency-aware": (
-        "lowest queue-adjusted EWMA retrieve latency",
-        "Suresh et al., NSDI'15 (C3 replica ranking)",
-    ),
-    "power-aware": (
-        "shortest reply path first; latency breaks ties",
-        "Chow, Leong & Chan, ICDCS'04 §V (power model)",
-    ),
-    "epsilon-greedy": (
-        "explore a uniform replier with probability epsilon",
-        "Sutton & Barto (epsilon-greedy bandit)",
-    ),
-}
-
-for _key, _fn in SCORING_POLICIES.items():
-    _summary, _citation = _SCORING_SUMMARIES[_key]
-    registry.register_value(
-        "peer-scoring", _key, _fn, summary=_summary, citation=_citation
-    )
+# replier selection alongside the cache-policy axes.  The dict above
+# stays the canonical store (the tracker resolves through it directly);
+# each key keeps a literal registration site so static tooling can see
+# the full key surface.
+registry.register_value(
+    "peer-scoring",
+    "arrival",
+    _policy_arrival,
+    summary="first reply to arrive wins (golden-trace default)",
+    citation="Chow, Leong & Chan, ICDCS'04 §III",
+)
+registry.register_value(
+    "peer-scoring",
+    "least-pending",
+    _policy_least_pending,
+    summary="fewest outstanding retrieves to the peer",
+    citation="Suresh et al., NSDI'15 (C3/absim queue-length signal)",
+)
+registry.register_value(
+    "peer-scoring",
+    "latency-aware",
+    _policy_latency_aware,
+    summary="lowest queue-adjusted EWMA retrieve latency",
+    citation="Suresh et al., NSDI'15 (C3 replica ranking)",
+)
+registry.register_value(
+    "peer-scoring",
+    "power-aware",
+    _policy_power_aware,
+    summary="shortest reply path first; latency breaks ties",
+    citation="Chow, Leong & Chan, ICDCS'04 §V (power model)",
+)
+registry.register_value(
+    "peer-scoring",
+    "epsilon-greedy",
+    _policy_epsilon_greedy,
+    summary="explore a uniform replier with probability epsilon",
+    citation="Sutton & Barto (epsilon-greedy bandit)",
+)
 
 #: Whole-run engagement counters every tracker maintains; surfaced as
 #: ``health_*`` in :class:`~repro.sim.profile.RunProfile` counters.

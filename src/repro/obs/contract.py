@@ -155,6 +155,10 @@ def _check_conservation(
     for status, expected in by_status.items():
         observed = sum(1 for s in requests if s.status == status)
         expect(f"request status {status!r}", observed, expected)
+        # Per-outcome latency accumulators must count the same requests
+        # the spans do (zero-count outcomes are omitted from Results).
+        latency_count = results.latency_by_outcome.get(status.upper(), (0, 0.0))[0]
+        expect(f"latency_by_outcome[{status.upper()!r}]", observed, latency_count)
     tcg_hits = sum(
         1
         for s in requests

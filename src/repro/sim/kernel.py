@@ -781,8 +781,8 @@ class CalendarQueue:
         self._width = width
         self._nslots = nslots
         self._mask = nslots - 1
-        self._slots = [[] for _ in range(nslots)]
-        self._overflow = []
+        self._slots = [[] for _ in range(nslots)]  # simlint: allow[kernel-transitive-hazard] reason=resize slow path; amortised O(1) per event
+        self._overflow = []  # simlint: allow[kernel-transitive-hazard] reason=resize slow path; amortised O(1) per event
         self._ring_count = 0
         self.size = 0
         self._horizon = self._anchor(self._floor) + nslots * width

@@ -1,0 +1,5 @@
+"""Reads both fields."""
+
+
+def report(res) -> int:
+    return res.used_metric + res.dead_knob

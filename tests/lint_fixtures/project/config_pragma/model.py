@@ -1,0 +1,6 @@
+"""The dead field, excused with a pragma."""
+
+
+class Results:
+    dead_knob: int = 0  # simlint: allow[config-field-flow] reason=reserved for the next exporter revision
+    used_metric: int = 1

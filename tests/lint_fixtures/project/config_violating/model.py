@@ -1,0 +1,6 @@
+"""A Results class with a dead, undocumented field."""
+
+
+class Results:
+    dead_knob: int = 0
+    used_metric: int = 1

@@ -1,0 +1,13 @@
+"""Helpers reachable from the kernel, hazard-free."""
+
+
+def total_of(items) -> int:
+    total = 0
+    for item in items:
+        total += item
+    return total
+
+
+def process(env):
+    total_of([1, 2])
+    yield env.timeout(1)

@@ -1,0 +1,24 @@
+"""The kernel_violating hazards, excused with pragmas."""
+
+import time
+
+
+def slow_total(items) -> int:
+    time.sleep(0.001)  # simlint: allow[kernel-transitive-hazard] reason=test stub, replaced by a fake clock in production
+    total = 0
+    for item in items:
+        total += item
+    return total
+
+
+def drain(bucket) -> list:
+    order = []
+    for member in bucket:  # simlint: allow[kernel-transitive-hazard] reason=order-insensitive accumulation, result is summed
+        order.append(member)
+    return order
+
+
+def process(env):
+    slow_total([1, 2])
+    drain({1, 2, 3})
+    yield env.timeout(1)

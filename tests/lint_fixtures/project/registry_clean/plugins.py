@@ -1,0 +1,5 @@
+"""Builtin registrations the loader reaches."""
+
+from registry import register_value
+
+register_value("thing", "alpha", object())

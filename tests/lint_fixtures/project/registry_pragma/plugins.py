@@ -1,0 +1,6 @@
+"""An undocumented key, excused with a pragma."""
+
+from registry import register_value
+
+register_value("thing", "alpha", object())
+register_value("thing", "mystery", object())  # simlint: allow[registry-consistency] reason=internal key, deliberately kept out of the operator docs

@@ -1,0 +1,5 @@
+"""A registration the loader never imports."""
+
+from registry import register_value
+
+register_value("thing", "orphaned", object())

@@ -1,0 +1,6 @@
+"""Builtin registrations the loader reaches."""
+
+from registry import register_value
+
+register_value("thing", "alpha", object())
+register_value("thing", "mystery", object())

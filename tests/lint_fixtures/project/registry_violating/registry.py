@@ -1,0 +1,13 @@
+"""Miniature policy registry."""
+
+NAMESPACES = ("thing",)
+
+_REGISTRY = {}
+
+
+def register_value(namespace, key, value):
+    _REGISTRY.setdefault(namespace, {})[key] = value
+
+
+def _load_builtins():
+    import plugins  # noqa: F401

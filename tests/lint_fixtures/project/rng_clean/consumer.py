@@ -1,0 +1,8 @@
+"""Handle derived from a named RandomStreams stream."""
+
+from streams import RandomStreams
+
+
+def draw_one() -> float:
+    rng = RandomStreams(7).stream("consumer-draws")
+    return rng.random()

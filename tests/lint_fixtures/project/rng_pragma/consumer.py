@@ -1,0 +1,15 @@
+"""The rng_violating case, excused with a pragma."""
+
+
+class FakeRng:
+    def random(self) -> float:
+        return 0.5
+
+
+def make_rng() -> FakeRng:
+    return FakeRng()
+
+
+def draw_one() -> float:
+    rng = make_rng()
+    return rng.random()  # simlint: allow[rng-provenance] reason=documentation stand-in, never runs in a simulation

@@ -1,0 +1,17 @@
+"""A draw whose handle provably is not a RandomStreams stream."""
+
+
+class FakeRng:
+    """Stand-in 'generator' that returns a constant."""
+
+    def random(self) -> float:
+        return 0.5
+
+
+def make_rng() -> FakeRng:
+    return FakeRng()
+
+
+def draw_one() -> float:
+    rng = make_rng()
+    return rng.random()

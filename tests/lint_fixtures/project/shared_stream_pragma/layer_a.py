@@ -1,0 +1,6 @@
+"""Shared stream, excused in both owners."""
+
+from streams import RandomStreams
+
+stream_pool = RandomStreams(1)
+rng = stream_pool.stream("shared-name")  # simlint: allow[rng-shared-stream] reason=deliberate cross-layer coupling for a doc example

@@ -1,0 +1,6 @@
+"""First module deriving the shared stream name."""
+
+from streams import RandomStreams
+
+stream_pool = RandomStreams(1)
+rng = stream_pool.stream("shared-name")

@@ -1,0 +1,6 @@
+"""Second module deriving the same stream name."""
+
+from streams import RandomStreams
+
+stream_pool = RandomStreams(1)
+rng = stream_pool.stream("shared-name")

@@ -1,0 +1,201 @@
+"""The incremental lint cache: correctness, invalidation, byte-identity."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.cache import (
+    LintCache,
+    env_fingerprint,
+    file_key,
+    project_key,
+)
+from repro.analysis.engine import LintViolation
+from repro.analysis.runner import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures" / "project"
+
+
+def report_for(paths, tmp_path, name, **kwargs):
+    report = tmp_path / f"{name}.json"
+    stream = io.StringIO()
+    code = run_lint(
+        paths,
+        baseline_path=None,
+        json_report=report,
+        stream=stream,
+        **kwargs,
+    )
+    return code, report.read_bytes()
+
+
+# -- cache primitives ---------------------------------------------------------
+
+
+def test_file_key_changes_with_content_and_path():
+    assert file_key("a.py", "x = 1") != file_key("a.py", "x = 2")
+    assert file_key("a.py", "x = 1") != file_key("b.py", "x = 1")
+
+
+def test_project_key_covers_docs(tmp_path):
+    keys = ["k1", "k2"]
+    (tmp_path / "DESIGN.md").write_text("one")
+    before = project_key(keys, tmp_path)
+    (tmp_path / "DESIGN.md").write_text("two")
+    assert project_key(keys, tmp_path) != before
+    # Order of file keys must not matter.
+    assert project_key(["k2", "k1"], tmp_path) == project_key(keys, tmp_path)
+
+
+def test_env_fingerprint_is_stable():
+    assert env_fingerprint() == env_fingerprint()
+
+
+def test_cache_roundtrips_every_violation_field(tmp_path):
+    cache = LintCache(tmp_path)
+    violation = LintViolation(
+        rule="r",
+        path="p.py",
+        line=3,
+        column=2,
+        message="m",
+        hint="h",
+        severity="warning",
+        scope="project",
+        start_line=1,
+        end_line=5,
+    )
+    cache.put("file", "key", [violation])
+    assert cache.get("file", "key") == [violation]
+
+
+def test_cache_miss_on_unknown_key(tmp_path):
+    cache = LintCache(tmp_path)
+    assert cache.get("file", "nope") is None
+    assert cache.misses == 1
+
+
+# -- end-to-end byte-identity -------------------------------------------------
+
+
+def test_cached_and_uncached_reports_are_byte_identical(tmp_path):
+    root = FIXTURES / "kernel_violating"
+    cache_dir = tmp_path / "cache"
+    common = dict(project=True, project_root=root)
+    code_cold, cold = report_for(
+        [root], tmp_path, "cold", use_cache=True, cache_dir=cache_dir, **common
+    )
+    code_warm, warm = report_for(
+        [root], tmp_path, "warm", use_cache=True, cache_dir=cache_dir, **common
+    )
+    code_none, none = report_for(
+        [root], tmp_path, "none", use_cache=False, **common
+    )
+    assert code_cold == code_warm == code_none == 1
+    assert cold == warm == none
+
+
+def test_warm_run_hits_the_cache(tmp_path):
+    root = FIXTURES / "rng_clean"
+    cache_dir = tmp_path / "cache"
+    for _ in range(2):
+        run_lint(
+            [root],
+            baseline_path=None,
+            stream=io.StringIO(),
+            project=True,
+            use_cache=True,
+            cache_dir=cache_dir,
+            project_root=root,
+        )
+    entries = list((cache_dir / env_fingerprint()).glob("*.json"))
+    # Two file entries plus one project entry.
+    assert len(entries) == 3
+
+
+def test_editing_a_file_invalidates_its_entry_and_the_project_pass(tmp_path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    module = src / "mod.py"
+    module.write_text("X = 1\n")
+    cache_dir = tmp_path / "cache"
+
+    def lint():
+        stream = io.StringIO()
+        code = run_lint(
+            [src],
+            baseline_path=None,
+            stream=stream,
+            project=True,
+            use_cache=True,
+            cache_dir=cache_dir,
+            project_root=src,
+        )
+        return code, stream.getvalue()
+
+    assert lint()[0] == 0
+    # Introduce a finding; the cached clean result must not mask it.
+    module.write_text("import time\nT = time.time()\n")
+    code, output = lint()
+    assert code == 1
+    assert "no-wall-clock" in output
+
+
+def test_pragma_edit_takes_effect_despite_cache(tmp_path):
+    # Raw findings are cached pre-pragma, so adding a pragma both changes
+    # the file key AND is re-applied; removing it re-arms the finding.
+    src = tmp_path / "proj"
+    src.mkdir()
+    module = src / "mod.py"
+    cache_dir = tmp_path / "cache"
+    module.write_text("import time\nT = time.time()\n")
+
+    def lint():
+        return run_lint(
+            [src],
+            baseline_path=None,
+            stream=io.StringIO(),
+            use_cache=True,
+            cache_dir=cache_dir,
+        )
+
+    assert lint() == 1
+    module.write_text(
+        "import time\n"
+        "T = time.time()  # simlint: allow[no-wall-clock] reason=test\n"
+    )
+    assert lint() == 0
+    module.write_text("import time\nT = time.time()\n")
+    assert lint() == 1
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    root = FIXTURES / "rng_clean"
+    cache_dir = tmp_path / "cache"
+    args = dict(
+        baseline_path=None,
+        project=True,
+        use_cache=True,
+        cache_dir=cache_dir,
+        project_root=root,
+    )
+    run_lint([root], stream=io.StringIO(), **args)
+    for entry in (cache_dir / env_fingerprint()).glob("*.json"):
+        entry.write_text("{not json")
+    stream = io.StringIO()
+    assert run_lint([root], stream=stream, **args) == 0
+
+
+def test_json_report_has_stable_shape(tmp_path):
+    root = FIXTURES / "config_violating"
+    _code, payload = report_for(
+        [root],
+        tmp_path,
+        "shape",
+        project=True,
+        use_cache=False,
+        project_root=root,
+    )
+    report = json.loads(payload)
+    assert report["new_count"] == report["counts_by_rule"]["config-field-flow"]
+    assert all(v["scope"] == "project" for v in report["violations"])

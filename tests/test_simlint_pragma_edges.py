@@ -1,0 +1,139 @@
+"""Pragma suppression-window edge cases.
+
+The window is the anchor node's full line span — multiline statements
+are suppressible from any of their lines, decorated defs from the
+decorator lines — plus ``allow-file`` anywhere (including line 1).
+"""
+
+import io
+from pathlib import Path
+
+from repro.analysis.engine import ModuleSource, lint_source
+from repro.analysis.runner import run_lint
+
+
+def lint_text(tmp_path, text):
+    path = tmp_path / "mod.py"
+    path.write_text(text)
+    return lint_source(ModuleSource.from_path(path))
+
+
+# -- multiline statements -----------------------------------------------------
+
+
+def test_pragma_on_last_line_of_multiline_statement(tmp_path):
+    found = lint_text(
+        tmp_path,
+        "import time\n"
+        "T = time.time(\n"
+        ")  # simlint: allow[no-wall-clock] reason=profiling only\n",
+    )
+    assert found == []
+
+
+def test_pragma_on_first_line_of_multiline_statement(tmp_path):
+    found = lint_text(
+        tmp_path,
+        "import time\n"
+        "T = time.time(  # simlint: allow[no-wall-clock] reason=profiling only\n"
+        ")\n",
+    )
+    assert found == []
+
+
+def test_pragma_outside_the_statement_does_not_suppress(tmp_path):
+    found = lint_text(
+        tmp_path,
+        "import time\n"
+        "# simlint: allow[no-wall-clock] reason=wrong line\n"
+        "T = time.time()\n",
+    )
+    rules = {v.rule for v in found}
+    assert "no-wall-clock" in rules
+    assert "pragma-unused" in rules
+
+
+# -- first line of the file ---------------------------------------------------
+
+
+def test_allow_file_pragma_on_line_one(tmp_path):
+    found = lint_text(
+        tmp_path,
+        "# simlint: allow-file[no-wall-clock] reason=profiling module\n"
+        "import time\n"
+        "T = time.time()\n"
+        "U = time.monotonic()\n",
+    )
+    assert found == []
+
+
+def test_violation_on_line_one_is_suppressible(tmp_path):
+    found = lint_text(
+        tmp_path,
+        "T = __import__('time').time()"
+        "  # simlint: allow[no-wall-clock] reason=one-liner\n",
+    )
+    assert all(v.rule != "no-wall-clock" for v in found)
+
+
+# -- decorated defs (project-scope anchor includes decorator lines) -----------
+
+
+def write_registry_project(tmp_path, pragma_line):
+    (tmp_path / "registry.py").write_text(
+        'NAMESPACES = ("thing",)\n'
+        "_REGISTRY = {}\n"
+        "def register(namespace, key):\n"
+        "    def wrap(fn):\n"
+        "        _REGISTRY.setdefault(namespace, {})[key] = fn\n"
+        "        return fn\n"
+        "    return wrap\n"
+        "def _load_builtins():\n"
+        "    import plugins  # noqa: F401\n"
+    )
+    docs = tmp_path / "docs"
+    docs.mkdir(exist_ok=True)
+    (docs / "POLICIES.md").write_text(
+        "| Key | Namespace |\n|-----|-----------|\n| `alpha` | thing |\n"
+    )
+    (tmp_path / "plugins.py").write_text(
+        "from registry import register\n"
+        "\n"
+        '@register("thing", "alpha")\n'
+        "def build_alpha():\n"
+        "    return None\n"
+        "\n"
+        f'@register("thing", "mystery"){pragma_line}\n'
+        "def build_mystery():\n"
+        "    return None\n"
+    )
+
+
+def project_lint(tmp_path):
+    stream = io.StringIO()
+    code = run_lint(
+        [tmp_path],
+        baseline_path=None,
+        stream=stream,
+        project=True,
+        use_cache=False,
+        project_root=tmp_path,
+    )
+    return code, stream.getvalue()
+
+
+def test_decorated_def_finding_fires_without_pragma(tmp_path):
+    write_registry_project(tmp_path, "")
+    code, output = project_lint(tmp_path)
+    assert code == 1
+    assert "registry-consistency" in output
+    assert "'mystery'" in output
+
+
+def test_pragma_on_decorator_line_suppresses_def_anchored_finding(tmp_path):
+    write_registry_project(
+        tmp_path,
+        "  # simlint: allow[registry-consistency] reason=internal key",
+    )
+    code, output = project_lint(tmp_path)
+    assert code == 0, output
