@@ -8,6 +8,7 @@ Six subcommands cover the common workflows::
     python -m repro sweep    fig2 --jobs 4 --cache results/cache --profile
     python -m repro trace    summarize results/traces
     python -m repro policies list [--namespace replacement]
+    python -m repro workloads list
     python -m repro check    golden record|verify [--fixtures DIR]
 
 ``run`` simulates one configuration and prints the paper's metrics
@@ -56,6 +57,10 @@ FIGURES = {
         "sweep_policy_matrix",
         "admission/replacement policy x Zipf skewness",
     ),
+    "fig-workload": (
+        "sweep_workload",
+        "workload engine x caching scheme",
+    ),
 }
 
 
@@ -72,6 +77,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, help="master random seed")
     parser.add_argument(
         "--no-ndp", action="store_true", help="disable beaconing (faster)"
+    )
+    parser.add_argument(
+        "--workload",
+        metavar="KEY",
+        help="workload registry key (see 'repro workloads list')",
+    )
+    parser.add_argument(
+        "--workload-param",
+        metavar="NAME=VALUE",
+        action="append",
+        dest="workload_param",
+        help="one workload parameter (repeatable); VALUE is parsed as "
+        "JSON when possible, else kept as a string",
     )
 
 
@@ -106,7 +124,26 @@ _CONFIG_FIELDS = {
     "replacement": "replacement_policy",
     "discovery": "discovery_policy",
     "peer_policy": "peer_policy",
+    "workload": "workload",
 }
+
+
+def _parse_workload_params(pairs: List[str]) -> dict:
+    """``NAME=VALUE`` strings -> a ``workload_params`` dict."""
+    import json
+
+    params = {}
+    for pair in pairs:
+        name, separator, text = pair.partition("=")
+        if not separator or not name:
+            raise argparse.ArgumentTypeError(
+                f"--workload-param expects NAME=VALUE, got {pair!r}"
+            )
+        try:
+            params[name] = json.loads(text)
+        except json.JSONDecodeError:
+            params[name] = text  # e.g. a bare file path
+    return params
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -115,6 +152,8 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         value = getattr(args, arg_name, None)
         if value is not None:
             overrides[field] = value
+    if getattr(args, "workload_param", None):
+        overrides["workload_params"] = _parse_workload_params(args.workload_param)
     if getattr(args, "no_ndp", False):
         overrides["ndp_enabled"] = False
     if getattr(args, "scheme", None):
@@ -354,6 +393,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="only list one namespace",
     )
 
+    workloads_parser = commands.add_parser(
+        "workloads", help="inspect the workload engine registry"
+    )
+    workloads_commands = workloads_parser.add_subparsers(
+        dest="workloads_command", required=True
+    )
+    workloads_commands.add_parser(
+        "list", help="print every registered workload key with its summary"
+    )
+
     check_parser = commands.add_parser(
         "check", help="golden-trace fixtures and invariant tooling"
     )
@@ -525,6 +574,17 @@ def _run_policies_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workloads_command(args: argparse.Namespace) -> int:
+    """Handler of the ``workloads`` subcommand."""
+    from repro.workloads import registry as workload_registry
+
+    for info in workload_registry.entries():
+        print(f"  {info.key:<18} {info.summary}")
+        if info.citation:
+            print(f"  {'':<18} [{info.citation}]")
+    return 0
+
+
 def _run_check_command(args: argparse.Namespace) -> int:
     """Handler of the ``check`` subcommand."""
     # Imported lazily: golden pulls in the experiments layer.
@@ -619,6 +679,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace_command(args)
     if args.command == "policies":
         return _run_policies_command(args)
+    if args.command == "workloads":
+        return _run_workloads_command(args)
     if args.command == "check":
         return _run_check_command(args)
     return 2  # unreachable: argparse enforces the choices

@@ -34,6 +34,7 @@ from repro.net.ndp import NeighborDiscovery
 from repro.net.p2p import P2PNetwork
 from repro.policies.factory import build_admission, build_replacement
 from repro.sim.kernel import Environment
+from repro.workloads.base import HostStream, PatternStream
 from repro.signatures.bloom import SignatureScheme
 
 __all__ = ["MobileHost"]
@@ -75,7 +76,7 @@ class MobileHost:
         network: P2PNetwork,
         channel: ServerChannel,
         server: MobileSupportStation,
-        pattern: AccessPattern,
+        pattern: "AccessPattern | HostStream",
         metrics: Metrics,
         rng: np.random.Generator,
         sizes: MessageSizes,
@@ -93,7 +94,18 @@ class MobileHost:
         self.network = network
         self.channel = channel
         self.server = server
-        self.pattern = pattern
+        if hasattr(pattern, "next_delay"):
+            # A bound workload stream (repro.workloads); the wrapped
+            # AccessPattern, if any, stays reachable for introspection.
+            self.stream: HostStream = pattern
+            self.pattern = getattr(pattern, "pattern", None)
+        else:
+            # A bare legacy AccessPattern (direct construction, older
+            # tests): wrap it in the adapter that reproduces the legacy
+            # draw pair — think time from this host's rng, item from the
+            # pattern's shared rng — exactly.
+            self.pattern = pattern
+            self.stream = PatternStream(pattern, rng, config.think_time_mean)
         self.metrics = metrics
         self.rng = rng
         self.sizes = sizes
@@ -170,9 +182,10 @@ class MobileHost:
     def run(self):
         """Think, access, maybe disconnect — forever."""
         config = self.config
+        stream = self.stream
         while True:
-            yield self.env.timeout(self.rng.exponential(config.think_time_mean))
-            item = self.pattern.next_item()
+            yield self.env.timeout(stream.next_delay(self.env.now))
+            item = stream.next_item(self.env.now)
             yield from self.access_item(item)
             self.requests_completed += 1
             if config.p_disc > 0 and self.rng.random() < config.p_disc:

@@ -17,6 +17,7 @@ from typing import Dict
 from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
 from repro.net.health import SCORING_POLICIES
 from repro.policies import registry as policy_registry
+from repro.workloads import registry as workload_registry
 
 __all__ = ["CachingScheme", "SimulationConfig"]
 
@@ -72,6 +73,16 @@ class SimulationConfig:
 
     # -- workload -----------------------------------------------------------------------
     think_time_mean: float = 1.0  # exp interarrival between accesses
+
+    # -- workload registry (repro.workloads) ----------------------------------------------
+    # Empty string = the legacy stationary group-Zipf process (resolved to
+    # the registered "stationary-zipf" engine, bit-identically), which
+    # keeps every config recorded before these fields existed replaying
+    # unchanged.  A non-empty value must name a registered workload key;
+    # workload_params carries that workload's knobs (validated against its
+    # declared schema when the engine is built).
+    workload: str = ""
+    workload_params: Dict[str, object] = field(default_factory=dict)
 
     # -- disconnection --------------------------------------------------------------------
     # DiscTime is drawn per disconnection; with ~1 request/second a client
@@ -286,6 +297,15 @@ class SimulationConfig:
             raise ValueError(
                 "scheme GC requires TCG discovery; discovery policy 'none' "
                 "is only valid for LC/CC"
+            )
+        if not isinstance(self.workload_params, dict) or any(
+            not isinstance(name, str) for name in self.workload_params
+        ):
+            raise ValueError("workload_params must be a dict with string keys")
+        if self.workload and self.workload not in workload_registry.available():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; available: "
+                f"{', '.join(workload_registry.available())}"
             )
         if self.peer_policy not in SCORING_POLICIES:
             raise ValueError(

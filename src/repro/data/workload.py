@@ -48,9 +48,13 @@ class AccessPattern:
             raise IndexError(rank)
         return (self.start + rank) % self.n_data
 
+    def next_rank(self) -> int:
+        """Draw the next popularity rank (0 = hottest)."""
+        return self._zipf.sample()
+
     def next_item(self) -> int:
         """Draw the next requested item id."""
-        return self.item_for_rank(self._zipf.sample())
+        return self.item_for_rank(self.next_rank())
 
     def covers(self, item: int) -> bool:
         """Whether ``item`` lies inside this pattern's window."""

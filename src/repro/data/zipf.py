@@ -7,9 +7,28 @@ toward the hottest ranks, as in the paper's Fig. 3 sweep.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["ZipfGenerator"]
+
+
+@lru_cache(maxsize=256)
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """The normalised Zipf CDF over ranks ``1..n``, shared across instances.
+
+    A sweep builds one :class:`ZipfGenerator` per host per run, and every
+    host of a run repeats the same ``(n, theta)`` — recomputing the
+    harmonic normalisation each time was O(hosts x n) of pure waste.  The
+    cached array is marked read-only so no sampler can corrupt a sibling's
+    table.
+    """
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    cdf.flags.writeable = False
+    return cdf
 
 
 class ZipfGenerator:
@@ -23,9 +42,7 @@ class ZipfGenerator:
         self.rng = rng
         self.n = int(n)
         self.theta = float(theta)
-        weights = 1.0 / np.power(np.arange(1, self.n + 1, dtype=float), self.theta)
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
+        self._cdf = _zipf_cdf(self.n, self.theta)
 
     def probability(self, rank: int) -> float:
         """P(rank), 0-based."""

@@ -45,6 +45,7 @@ from repro.experiments.sweeps import (
     sweep_peer_policy,
     sweep_skewness,
     sweep_update_rate,
+    sweep_workload,
 )
 from repro.experiments.tables import (
     format_profile_report,
@@ -85,4 +86,5 @@ __all__ = [
     "sweep_peer_policy",
     "sweep_skewness",
     "sweep_update_rate",
+    "sweep_workload",
 ]

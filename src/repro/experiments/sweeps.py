@@ -20,8 +20,10 @@ from repro.experiments.runner import (
 from repro.core.config import CachingScheme, SimulationConfig
 from repro.net.faults import CrashFaults, FaultPlan, LinkFaults
 from repro.net.health import SCORING_POLICIES
+from repro.workloads import registry as workload_registry
 
 __all__ = [
+    "GENERATIVE_WORKLOADS",
     "sweep_access_range",
     "sweep_cache_size",
     "sweep_disconnection",
@@ -32,6 +34,7 @@ __all__ = [
     "sweep_policy_matrix",
     "sweep_skewness",
     "sweep_update_rate",
+    "sweep_workload",
 ]
 
 Progress = Optional[Callable[[str], None]]
@@ -363,6 +366,55 @@ def sweep_peer_policy(
     for policy, result in zip(spec_policies, results):
         table.rows[policy].append(result)
     return table
+
+
+#: The FigWorkload columns: every registered workload that needs no input
+#: file.  ``trace-replay`` is deliberately absent — it requires a trace
+#: ``path`` parameter, so it has no meaningful figure default.
+GENERATIVE_WORKLOADS = (
+    "stationary-zipf",
+    "ycsb",
+    "flash-crowd",
+    "diurnal",
+    "popularity-drift",
+)
+
+
+def sweep_workload(
+    values: Optional[Sequence[str]] = None,
+    progress: Progress = None,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    **execute_kwargs: Any,
+) -> SweepTable:
+    """FigWorkload: registered workload engines × caching scheme.
+
+    The swept "values" are workload registry keys rather than a numeric
+    knob: ``stationary-zipf`` is the paper's stationary baseline (bit-for-
+    bit the legacy process), and each non-stationary engine stresses a
+    different assumption behind cooperative caching — YCSB mix A flattens
+    group locality, ``flash-crowd`` injects transient global hot sets,
+    ``diurnal`` swings the request rate, and ``popularity-drift`` churns
+    which items are hot.  Same seed across schemes at each workload
+    (common random numbers), like every paper figure.
+    """
+    values = list(values if values is not None else GENERATIVE_WORKLOADS)
+    known = workload_registry.available()
+    unknown = [value for value in values if value not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; pick from {', '.join(known)}"
+        )
+    return run_sweep(
+        "FigWorkload",
+        "workload",
+        values,
+        lambda value: base_config(workload=str(value)),
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+        **execute_kwargs,
+    )
 
 
 #: The FigMatrix rows: label -> config overrides.  The three schemes are

@@ -1,0 +1,189 @@
+"""The workload engine and per-host stream contracts.
+
+A **workload engine** owns the run-wide state of one demand process —
+access patterns, hot sets, drift permutations, a trace reader — and
+hands each mobile host a lazy **host stream** via :meth:`WorkloadEngine.
+bind`.  A host stream answers exactly two questions, one request at a
+time, in the order the legacy client loop asked them:
+
+* :meth:`HostStream.next_delay` — how long to think before the next
+  request (the legacy path draws ``rng.exponential(think_time_mean)``
+  from the host's own stream);
+* :meth:`HostStream.next_item` — which item to request (the legacy path
+  draws from the shared ``"workload"`` stream).
+
+Streams are lazy by contract: a conforming implementation holds O(1)
+state per host regardless of how many requests it serves, which is what
+lets trace replay push millions of records through without materialising
+them (the conformance battery's constant-memory check pins this per
+registered key).
+
+The engine also keeps a windowed item histogram — every drawn item is
+:meth:`noted <WorkloadEngine.note>` — so the observability sampler can
+report per-window request rate and hot-set entropy without touching any
+RNG (sampling a run never perturbs it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    import numpy as np
+
+    from repro.core.config import SimulationConfig
+    from repro.sim.random import RandomStreams
+
+try:  # Protocol is typing-only; runtime use is pure duck typing.
+    from typing import Protocol
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = [
+    "HostStream",
+    "PatternStream",
+    "REQUIRED",
+    "WorkloadEngine",
+    "demand_stream",
+    "resolve_params",
+]
+
+#: Sentinel default for a workload parameter that must be supplied.
+REQUIRED = object()
+
+
+def demand_stream(streams: "RandomStreams") -> "np.random.Generator":
+    """The shared item-draw stream every workload engine consumes.
+
+    This is the legacy ``"workload"`` stream — the one
+    :func:`~repro.data.workload.build_access_patterns` historically drew
+    from — and this helper is its single owner: every engine derives it
+    here, so no two modules can couple to the name independently (the
+    ``rng-shared-stream`` project lint pins this).
+    """
+    return streams.stream("workload")
+
+
+class HostStream(Protocol):
+    """What one mobile host pulls its requests from."""
+
+    def next_delay(self, now: float) -> float:
+        """Think time before the next request, from simulated ``now``."""
+
+    def next_item(self, now: float) -> int:
+        """The next requested item id (call after :meth:`next_delay`)."""
+
+
+def resolve_params(
+    key: str,
+    given: Dict[str, object],
+    defaults: Dict[str, object],
+) -> Dict[str, object]:
+    """Merge ``workload_params`` over a workload's declared defaults.
+
+    Unknown and missing-required parameters raise pinned ``ValueError``
+    messages naming the workload and every known parameter, so a typo'd
+    config is self-explaining.
+    """
+    known = ", ".join(sorted(defaults)) or "(none)"
+    for name in given:
+        if name not in defaults:
+            raise ValueError(
+                f"unknown workload param {name!r} for {key!r}; known: {known}"
+            )
+    params = dict(defaults)
+    params.update(given)
+    for name, value in params.items():
+        if value is REQUIRED:
+            raise ValueError(f"workload {key!r} requires param {name!r}")
+    return params
+
+
+class WorkloadEngine:
+    """Base class of every registered workload.
+
+    Subclasses set :attr:`key` (their registry key) and
+    :attr:`PARAM_DEFAULTS` (their ``workload_params`` schema; use
+    :data:`REQUIRED` for mandatory entries) and implement :meth:`bind`.
+    """
+
+    key: str = ""
+    PARAM_DEFAULTS: Dict[str, object] = {}
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        self.config = config
+        self.streams = streams
+        self.group_of = list(group_of)
+        self.params = resolve_params(
+            self.key, config.workload_params, self.PARAM_DEFAULTS
+        )
+        self._window_counts: Dict[int, int] = {}
+        self._window_requests = 0
+
+    def bind(self, index: int, rng: "np.random.Generator") -> HostStream:
+        """The request stream of host ``index``.
+
+        ``rng`` is the host's own ``client-{index}`` stream — the one the
+        legacy loop drew think times from — so a workload that keeps its
+        delay draws there replays bit-identically.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ window accounting
+
+    def note(self, item: int) -> None:
+        """Count one drawn item into the current observation window.
+
+        Pure counting — no RNG, no events — so noted and unnoted runs
+        are bit-identical (the sampler-identity property test pins this).
+        """
+        self._window_requests += 1
+        counts = self._window_counts
+        counts[item] = counts.get(item, 0) + 1
+
+    def take_window(self) -> Tuple[int, float]:
+        """``(requests, hot-set entropy in bits)`` since the last call.
+
+        Resets the window.  Entropy is the Shannon entropy of the item
+        histogram: high when demand is spread, collapsing toward 0 during
+        a flash-crowd spike — which is what makes non-stationarity a
+        reportable time-series column.
+        """
+        requests = self._window_requests
+        entropy = 0.0
+        if requests:
+            for count in self._window_counts.values():
+                p = count / requests
+                entropy -= p * math.log2(p)
+        self._window_counts = {}
+        self._window_requests = 0
+        return requests, entropy
+
+
+class PatternStream:
+    """Adapter: a bare legacy ``AccessPattern`` as a :class:`HostStream`.
+
+    Wraps the exact legacy draw pair — think time from the host's own
+    rng, item from the pattern's shared rng — for callers (tests, direct
+    :class:`~repro.core.client.MobileHost` construction) that still pass
+    an ``AccessPattern`` instead of a bound stream.
+    """
+
+    __slots__ = ("pattern", "rng", "mean")
+
+    def __init__(self, pattern, rng: "np.random.Generator", mean: float) -> None:
+        self.pattern = pattern
+        self.rng = rng
+        self.mean = float(mean)
+
+    def next_delay(self, now: float) -> float:
+        return self.rng.exponential(self.mean)
+
+    def next_item(self, now: float) -> int:
+        return self.pattern.next_item()

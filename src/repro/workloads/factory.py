@@ -1,0 +1,38 @@
+"""Build the configured workload engine for a simulation run.
+
+``config.workload == ""`` (the default everywhere) resolves to
+``stationary-zipf`` — the registry-hosted twin of the legacy demand
+path — so untouched configs, golden fixtures and published sweeps
+replay bit-identically with zero opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.workloads import registry
+from repro.workloads.base import WorkloadEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import SimulationConfig
+    from repro.sim.random import RandomStreams
+
+__all__ = ["DEFAULT_WORKLOAD", "build_workload", "resolved_workload_key"]
+
+#: What the empty-string legacy default resolves to.
+DEFAULT_WORKLOAD = "stationary-zipf"
+
+
+def resolved_workload_key(config: "SimulationConfig") -> str:
+    """The registry key a config's workload actually resolves to."""
+    return config.workload or DEFAULT_WORKLOAD
+
+
+def build_workload(
+    config: "SimulationConfig",
+    streams: "RandomStreams",
+    group_of: List[int],
+) -> WorkloadEngine:
+    """Instantiate the engine named by ``config.workload``."""
+    factory = registry.resolve(resolved_workload_key(config))
+    return factory(config, streams, group_of)

@@ -1,0 +1,169 @@
+"""String-keyed workload registry (ROADMAP item 4).
+
+The demand side of a simulation — which item each mobile host requests
+next, and when — is looked up here by key instead of being hard-wired to
+one stationary Zipf process, the way Icarus hosts its workload iterators
+behind ``@register_workload``.  Adding a workload is one decorated
+definition::
+
+    from repro.workloads.registry import register
+
+    @register("flash-crowd", summary="transient hot-set spikes")
+    def _build_flash_crowd(config, streams, group_of):
+        return FlashCrowdWorkload(config, streams, group_of)
+
+Every registered key is automatically picked up by the conformance
+battery (:mod:`repro.workloads.conformance`), the differential test, the
+sweep surface (``sweep_workload``) and ``repro workloads list`` — a
+workload that does not pass the battery fails CI.
+
+A registered value is a builder ``(config, streams, group_of) ->
+WorkloadEngine`` (see :mod:`repro.workloads.base` for the engine and
+per-host stream contracts).  Builtin workloads load lazily on the first
+:func:`available`/:func:`resolve` call, mirroring
+:mod:`repro.policies.registry`, so importing this module stays cheap and
+cycle-free (``repro.core.config`` imports it for key validation).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List
+
+__all__ = [
+    "WorkloadInfo",
+    "available",
+    "describe",
+    "entries",
+    "register",
+    "register_value",
+    "resolve",
+    "temporary_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One registered workload: its key, builder and catalogue metadata."""
+
+    key: str
+    value: Any
+    summary: str = ""
+    citation: str = ""
+
+
+_REGISTRY: Dict[str, WorkloadInfo] = {}
+_builtins_loaded = False
+
+
+def _load_builtins() -> None:
+    """Import the builtin workload modules (registration is import-driven).
+
+    Imported here, not at module top, to avoid cycles: the workload
+    modules import this module for the decorator, and
+    ``repro.core.config`` imports this module for key validation.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from repro.workloads import (  # noqa: F401
+        stationary,
+        synthetic,
+        trace,
+    )
+
+
+def register_value(
+    key: str,
+    value: Any,
+    *,
+    summary: str = "",
+    citation: str = "",
+) -> Any:
+    """Register ``value`` under ``key``; returns ``value``.
+
+    Raises ``ValueError`` on a duplicate key — workloads are registered
+    exactly once, so resolution can never depend on registration order.
+    """
+    if not isinstance(key, str) or not key:
+        raise ValueError(f"workload key must be a non-empty string, got {key!r}")
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate workload {key!r}")
+    _REGISTRY[key] = WorkloadInfo(
+        key=key, value=value, summary=summary, citation=citation
+    )
+    return value
+
+
+def register(
+    key: str,
+    *,
+    summary: str = "",
+    citation: str = "",
+) -> Callable[[Any], Any]:
+    """Decorator form of :func:`register_value`::
+
+        @register("diurnal", summary="...")
+        def _build_diurnal(config, streams, group_of):
+            return DiurnalWorkload(config, streams, group_of)
+    """
+
+    def decorator(value: Any) -> Any:
+        return register_value(key, value, summary=summary, citation=citation)
+
+    return decorator
+
+
+def available() -> List[str]:
+    """The registered workload keys, sorted."""
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def describe(key: str) -> WorkloadInfo:
+    """The :class:`WorkloadInfo` behind ``key``.
+
+    The ``KeyError`` for an unknown key lists every valid key verbatim,
+    so a typo'd config or CLI flag is self-explaining.
+    """
+    _load_builtins()
+    info = _REGISTRY.get(key)
+    if info is None:
+        raise KeyError(
+            f"unknown workload {key!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return info
+
+
+def resolve(key: str) -> Any:
+    """The registered builder behind ``key``."""
+    return describe(key).value
+
+
+def entries() -> List[WorkloadInfo]:
+    """Every :class:`WorkloadInfo`, sorted by key."""
+    _load_builtins()
+    return [info for _, info in sorted(_REGISTRY.items())]
+
+
+@contextmanager
+def temporary_workload(
+    key: str,
+    value: Any,
+    *,
+    summary: str = "",
+    citation: str = "",
+) -> Iterator[WorkloadInfo]:
+    """Register a workload for the duration of a ``with`` block (tests).
+
+    The entry is removed on exit even when the block raises, so property
+    tests can register throwaway workloads without polluting the process
+    registry.
+    """
+    register_value(key, value, summary=summary, citation=citation)
+    try:
+        yield _REGISTRY[key]
+    finally:
+        _REGISTRY.pop(key, None)

@@ -1,0 +1,404 @@
+"""Synthetic non-stationary workloads: YCSB mixes, flash crowds, diurnal
+rate modulation and popularity drift.
+
+All four engines keep the legacy stream discipline — item draws from the
+shared ``"workload"`` stream, think-time draws from each host's own
+``client-{index}`` stream — so enabling one perturbs no other subsystem's
+RNG sequence.  ``popularity-drift`` additionally draws its per-epoch rank
+permutations from the dedicated ``"workload-drift"`` stream, and
+``flash-crowd`` derives each spike's hot set from a per-spike named
+stream (``workload-flash-{k}``), so hot sets are independent of which
+host happens to enter the spike first.
+
+The simulator models the *demand* side only: clients issue read-through
+requests and the server database churns independently at
+``data_update_rate``.  The YCSB mixes therefore collapse read/update/
+insert operations to item choice — an "update" requests the item it
+would have written (read-modify-write demand), and mix D's "insert"
+advances a latest-item frontier — which is the standard mapping when
+YCSB drives a cache simulator rather than a storage engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.data.workload import AccessPattern, build_access_patterns
+from repro.data.zipf import ZipfGenerator
+from repro.workloads.base import WorkloadEngine, demand_stream
+from repro.workloads.registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.config import SimulationConfig
+    from repro.sim.random import RandomStreams
+
+__all__ = [
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "PopularityDriftWorkload",
+    "YCSB_MIXES",
+    "YCSBWorkload",
+    "diurnal_rate_factor",
+]
+
+
+# --------------------------------------------------------------------- ycsb
+
+#: Operation fractions (read, update, insert) per YCSB core workload.
+#: A = update-heavy, B = read-mostly, C = read-only, D = read-latest.
+YCSB_MIXES: Dict[str, Tuple[float, float, float]] = {
+    "a": (0.5, 0.5, 0.0),
+    "b": (0.95, 0.05, 0.0),
+    "c": (1.0, 0.0, 0.0),
+    "d": (0.95, 0.0, 0.05),
+}
+
+
+class _YCSBStream:
+    __slots__ = ("engine", "rng", "mean")
+
+    def __init__(self, engine: "YCSBWorkload", rng, mean: float) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.mean = float(mean)
+
+    def next_delay(self, now: float) -> float:
+        return self.rng.exponential(self.mean)
+
+    def next_item(self, now: float) -> int:
+        item = self.engine.draw_item()
+        self.engine.note(item)
+        return item
+
+
+@register(
+    "ycsb",
+    summary="YCSB core mixes A-D (zipfian / read-latest request streams)",
+    citation="Cooper et al., SoCC 2010",
+)
+class YCSBWorkload(WorkloadEngine):
+    """YCSB-style request streams over the whole database.
+
+    ``mix`` picks the operation fractions (:data:`YCSB_MIXES`); ``theta``
+    is the zipfian request-distribution constant (YCSB's default 0.99).
+    Mix D replaces the zipfian item choice with a "latest" distribution:
+    a frontier of recently inserted items advances on insert operations
+    and reads cluster zipf-fashion behind it.
+    """
+
+    key = "ycsb"
+    PARAM_DEFAULTS: Dict[str, object] = {"mix": "a", "theta": 0.99}
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        super().__init__(config, streams, group_of)
+        mix = self.params["mix"]
+        if mix not in YCSB_MIXES:
+            raise ValueError(
+                f"unknown ycsb mix {mix!r}; known: {', '.join(sorted(YCSB_MIXES))}"
+            )
+        theta = float(self.params["theta"])  # type: ignore[arg-type]
+        if theta < 0:
+            raise ValueError("ycsb param 'theta' must be >= 0")
+        self.mix = mix
+        self.read, self.update, self.insert = YCSB_MIXES[mix]
+        self.rng = demand_stream(streams)
+        self._zipf = ZipfGenerator(self.rng, config.n_data, theta)
+        # Mix D's latest-item frontier: one tenth of the database counts
+        # as already inserted, so early reads have a window to cluster in.
+        self._frontier = max(1, config.n_data // 10)
+
+    def draw_item(self) -> int:
+        """One operation's item, shared across hosts (one stream)."""
+        n_data = self.config.n_data
+        if self.mix == "c":
+            # Read-only: no operation draw at all — pure zipfian reads.
+            return self._zipf.sample()
+        op = self.rng.random()
+        if self.mix == "d" and op >= self.read:
+            # Insert: the frontier advances and the new item is requested.
+            self._frontier += 1
+            return (self._frontier - 1) % n_data
+        rank = self._zipf.sample()
+        if self.mix == "d":
+            # Read-latest: rank 0 is the newest item behind the frontier.
+            return (self._frontier - 1 - (rank % self._frontier)) % n_data
+        return rank  # zipfian: rank order doubles as item id order
+
+    def bind(self, index: int, rng: "np.random.Generator") -> _YCSBStream:
+        return _YCSBStream(self, rng, self.config.think_time_mean)
+
+
+# -------------------------------------------------------------- flash crowd
+
+
+class _FlashCrowdStream:
+    __slots__ = ("engine", "pattern", "rng", "mean")
+
+    def __init__(
+        self, engine: "FlashCrowdWorkload", pattern: AccessPattern, rng, mean: float
+    ) -> None:
+        self.engine = engine
+        self.pattern = pattern
+        self.rng = rng
+        self.mean = float(mean)
+
+    def next_delay(self, now: float) -> float:
+        return self.rng.exponential(self.mean)
+
+    def next_item(self, now: float) -> int:
+        item = self.engine.draw_item(self.pattern, now)
+        self.engine.note(item)
+        return item
+
+
+@register(
+    "flash-crowd",
+    summary="stationary Zipf with transient global hot-set spikes",
+)
+class FlashCrowdWorkload(WorkloadEngine):
+    """Baseline group-Zipf demand with periodic flash-crowd spikes.
+
+    Every ``period`` seconds a spike lasting ``duration`` seconds makes
+    all hosts request one of ``hot_items`` globally shared items with
+    probability ``boost`` (the remainder falls through to the host's own
+    Zipf window).  Each spike's hot set comes from its own named stream,
+    so it is reproducible regardless of event interleaving.
+    """
+
+    key = "flash-crowd"
+    PARAM_DEFAULTS: Dict[str, object] = {
+        "period": 240.0,
+        "duration": 40.0,
+        "hot_items": 8,
+        "boost": 0.8,
+    }
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        super().__init__(config, streams, group_of)
+        self.period = float(self.params["period"])  # type: ignore[arg-type]
+        self.duration = float(self.params["duration"])  # type: ignore[arg-type]
+        self.hot_items = int(self.params["hot_items"])  # type: ignore[arg-type]
+        self.boost = float(self.params["boost"])  # type: ignore[arg-type]
+        if self.period <= 0:
+            raise ValueError("flash-crowd param 'period' must be positive")
+        if not 0 < self.duration <= self.period:
+            raise ValueError(
+                "flash-crowd param 'duration' must be in (0, period]"
+            )
+        if self.hot_items < 1:
+            raise ValueError("flash-crowd param 'hot_items' must be >= 1")
+        if not 0.0 <= self.boost <= 1.0:
+            raise ValueError("flash-crowd param 'boost' must be in [0, 1]")
+        self.rng = demand_stream(streams)
+        self.patterns = build_access_patterns(
+            self.rng,
+            self.group_of,
+            config.n_data,
+            config.access_range,
+            config.theta,
+        )
+        # Only the current spike's hot set is kept (constant memory); a
+        # revisited spike index regenerates the same set from its stream.
+        self._hot_spike = -1
+        self._hot_set: Optional["np.ndarray"] = None
+
+    def spike_index(self, now: float) -> int:
+        """The active spike's index, or -1 outside every spike window."""
+        k = int(now // self.period)
+        return k if (now - k * self.period) < self.duration else -1
+
+    def hot_set(self, spike: int) -> "np.ndarray":
+        """Spike ``spike``'s shared hot items (derived, order-independent)."""
+        if spike != self._hot_spike:
+            rng = self.streams.stream(f"workload-flash-{spike}")
+            self._hot_spike = spike
+            self._hot_set = rng.integers(0, self.config.n_data, size=self.hot_items)
+        return self._hot_set
+
+    def draw_item(self, pattern: AccessPattern, now: float) -> int:
+        spike = self.spike_index(now)
+        if spike >= 0 and self.rng.random() < self.boost:
+            hot = self.hot_set(spike)
+            return int(hot[int(self.rng.integers(0, len(hot)))])
+        return pattern.next_item()
+
+    def bind(self, index: int, rng: "np.random.Generator") -> _FlashCrowdStream:
+        return _FlashCrowdStream(
+            self, self.patterns[index], rng, self.config.think_time_mean
+        )
+
+
+# ------------------------------------------------------------------ diurnal
+
+
+def diurnal_rate_factor(now: float, amplitude: float, period: float) -> float:
+    """The sinusoidal request-rate multiplier at simulated ``now``.
+
+    Averages to exactly 1 over a full period, so the modulated process
+    keeps the configured mean request rate (pinned by the Hypothesis
+    mean-rate property test).
+    """
+    return 1.0 + amplitude * math.sin(2.0 * math.pi * now / period)
+
+
+class _DiurnalStream:
+    __slots__ = ("engine", "pattern", "rng", "mean")
+
+    def __init__(
+        self, engine: "DiurnalWorkload", pattern: AccessPattern, rng, mean: float
+    ) -> None:
+        self.engine = engine
+        self.pattern = pattern
+        self.rng = rng
+        self.mean = float(mean)
+
+    def next_delay(self, now: float) -> float:
+        factor = diurnal_rate_factor(now, self.engine.amplitude, self.engine.period)
+        return self.rng.exponential(self.mean) / factor
+
+    def next_item(self, now: float) -> int:
+        item = self.pattern.next_item()
+        self.engine.note(item)
+        return item
+
+
+@register(
+    "diurnal",
+    summary="sinusoidal request-rate modulation of the stationary process",
+)
+class DiurnalWorkload(WorkloadEngine):
+    """Stationary Zipf items with a day/night request-rate cycle.
+
+    Think times are the legacy exponential draws divided by
+    :func:`diurnal_rate_factor`, so the instantaneous request rate swings
+    by ``±amplitude`` around the configured mean over each ``period``.
+    """
+
+    key = "diurnal"
+    PARAM_DEFAULTS: Dict[str, object] = {"amplitude": 0.5, "period": 400.0}
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        super().__init__(config, streams, group_of)
+        self.amplitude = float(self.params["amplitude"])  # type: ignore[arg-type]
+        self.period = float(self.params["period"])  # type: ignore[arg-type]
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("diurnal param 'amplitude' must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("diurnal param 'period' must be positive")
+        self.patterns = build_access_patterns(
+            demand_stream(streams),
+            self.group_of,
+            config.n_data,
+            config.access_range,
+            config.theta,
+        )
+
+    def bind(self, index: int, rng: "np.random.Generator") -> _DiurnalStream:
+        return _DiurnalStream(
+            self, self.patterns[index], rng, self.config.think_time_mean
+        )
+
+
+# ---------------------------------------------------------- popularity drift
+
+
+class _DriftStream:
+    __slots__ = ("engine", "pattern", "rng", "mean")
+
+    def __init__(
+        self,
+        engine: "PopularityDriftWorkload",
+        pattern: AccessPattern,
+        rng,
+        mean: float,
+    ) -> None:
+        self.engine = engine
+        self.pattern = pattern
+        self.rng = rng
+        self.mean = float(mean)
+
+    def next_delay(self, now: float) -> float:
+        return self.rng.exponential(self.mean)
+
+    def next_item(self, now: float) -> int:
+        perm = self.engine.permutation(now)
+        item = self.pattern.item_for_rank(int(perm[self.pattern.next_rank()]))
+        self.engine.note(item)
+        return item
+
+
+@register(
+    "popularity-drift",
+    summary="periodic rank reshuffles; marginal Zipf skew is preserved",
+    citation="cf. Wang & Kulkarni, popularity-ranked DTN caching",
+)
+class PopularityDriftWorkload(WorkloadEngine):
+    """Content churn: which item holds which rank reshuffles per epoch.
+
+    Every ``period`` seconds the rank-to-offset mapping inside each
+    group's access window is re-drawn from the dedicated
+    ``"workload-drift"`` stream.  The *marginal* distribution over ranks
+    is untouched — the process stays exactly as skewed as the stationary
+    workload — but the identity of the hot items churns, which is the
+    regime where signature-based cooperative caching has to re-learn.
+    """
+
+    key = "popularity-drift"
+    PARAM_DEFAULTS: Dict[str, object] = {"period": 300.0}
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        super().__init__(config, streams, group_of)
+        self.period = float(self.params["period"])  # type: ignore[arg-type]
+        if self.period <= 0:
+            raise ValueError("popularity-drift param 'period' must be positive")
+        self.patterns = build_access_patterns(
+            demand_stream(streams),
+            self.group_of,
+            config.n_data,
+            config.access_range,
+            config.theta,
+        )
+        self._drift_rng = streams.stream("workload-drift")
+        self._epoch = -1
+        self._perm: Optional["np.ndarray"] = None
+
+    def permutation(self, now: float) -> "np.ndarray":
+        """The rank permutation of the epoch containing ``now``.
+
+        Epochs advance monotonically with simulated time, and skipped
+        epochs still consume their permutation draw, so the mapping at
+        any instant is independent of which host asked first.
+        """
+        epoch = int(now // self.period)
+        while self._epoch < epoch:
+            self._epoch += 1
+            self._perm = self._drift_rng.permutation(self.config.access_range)
+        return self._perm
+
+    def bind(self, index: int, rng: "np.random.Generator") -> _DriftStream:
+        return _DriftStream(
+            self, self.patterns[index], rng, self.config.think_time_mean
+        )

@@ -1,0 +1,275 @@
+"""Trace replay: drive the simulation from a recorded request log.
+
+The ``trace-replay`` workload streams a CSV or JSONL request log through
+the :class:`~repro.workloads.base.HostStream` protocol.  The file is read
+**lazily** — one line at a time, demultiplexed into small per-host
+buffers — so a million-request trace costs a bounded number of bytes of
+resident memory no matter how long it is (the constant-memory tests pin
+this).
+
+Trace schema (see docs/WORKLOADS.md):
+
+* **CSV** — first line must be the exact header ``t,host,item``; every
+  further line is ``<float>,<int>,<int>``.
+* **JSONL** (``.jsonl`` extension) — one JSON object per line with
+  numeric fields ``t``, ``host`` and ``item``.
+
+Timestamps must be non-decreasing and non-negative; item ids must fall
+inside the configured database (``0 <= item < n_data``); trace hosts map
+onto simulated hosts by ``host % n_clients`` (deterministic demux).
+Violations raise pinned ``ValueError`` messages naming the file and line
+(the malformed-trace contract tests match them verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.workloads.base import REQUIRED, WorkloadEngine
+from repro.workloads.registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.config import SimulationConfig
+    from repro.sim.random import RandomStreams
+
+__all__ = ["TRACE_HEADER", "TraceHostStream", "TraceReplayWorkload"]
+
+#: Mandatory first line of a CSV trace.
+TRACE_HEADER = "t,host,item"
+
+#: Think-time returned by an exhausted (non-looping) stream: far beyond
+#: any ``max_sim_time``, so a starved host simply idles out the run.
+_EXHAUSTED_DELAY = 1e15
+
+
+class _TraceReader:
+    """Shared lazy reader: one pass over the file, per-host deques."""
+
+    def __init__(
+        self,
+        path: Path,
+        n_clients: int,
+        n_data: int,
+        loop: bool,
+        max_buffer: int,
+    ) -> None:
+        self.path = path
+        self.n_clients = n_clients
+        self.n_data = n_data
+        self.loop = loop
+        self.max_buffer = max_buffer
+        self.records_read = 0
+        self._queues: List[Deque[Tuple[float, int]]] = [
+            deque() for _ in range(n_clients)
+        ]
+        self._jsonl = path.suffix == ".jsonl"
+        self._offset = 0.0
+        self._exhausted = False
+        self._handle = None
+        self._line_no = 0
+        self._pass_last_t: Optional[float] = None
+        self._open()
+
+    def _fail(self, message: str) -> ValueError:
+        return ValueError(f"trace {self.path}: {message}")
+
+    def _open(self) -> None:
+        self._handle = self.path.open("r", encoding="utf-8")
+        self._line_no = 0
+        self._pass_last_t = None
+        if not self._jsonl:
+            header = self._handle.readline()
+            self._line_no = 1
+            if header.rstrip("\r\n") != TRACE_HEADER:
+                raise self._fail(
+                    f"header must be {TRACE_HEADER!r}, "
+                    f"got {header.rstrip(chr(10)).rstrip(chr(13))!r}"
+                )
+
+    def _parse(self, line: str) -> Tuple[float, int, int]:
+        n = self._line_no
+        if self._jsonl:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise self._fail(f"line {n}: invalid JSON: {error}") from None
+            if not isinstance(record, dict) or not {"t", "host", "item"} <= set(
+                record
+            ):
+                raise self._fail(
+                    f"line {n}: expected an object with keys t, host, item"
+                )
+            try:
+                return float(record["t"]), int(record["host"]), int(record["item"])
+            except (TypeError, ValueError):
+                raise self._fail(
+                    f"line {n}: t, host and item must be numeric"
+                ) from None
+        parts = line.rstrip("\r\n").split(",")
+        if len(parts) != 3:
+            raise self._fail(
+                f"line {n}: expected 3 fields (t,host,item), got {len(parts)}"
+            )
+        try:
+            return float(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError:
+            raise self._fail(
+                f"line {n}: t, host and item must be numeric"
+            ) from None
+
+    def _end_of_pass(self) -> None:
+        self._handle.close()
+        if not self.loop:
+            self._exhausted = True
+            return
+        if self._pass_last_t is None:
+            raise self._fail("no records to replay")
+        # Shift the next pass past everything replayed so far, keeping
+        # timestamps globally non-decreasing across the loop seam.
+        self._offset += self._pass_last_t
+        self._open()
+
+    def _advance(self) -> None:
+        """Read lines until one record lands in some host's buffer."""
+        while True:
+            line = self._handle.readline()
+            self._line_no += 1
+            if not line:
+                self._end_of_pass()
+                return
+            if not line.strip():
+                continue  # blank (e.g. trailing) lines carry no record
+            t, host, item = self._parse(line)
+            n = self._line_no
+            if t < 0:
+                raise self._fail(f"line {n}: negative timestamp {t}")
+            if self._pass_last_t is not None and t < self._pass_last_t:
+                raise self._fail(
+                    f"line {n}: non-monotone timestamp {t} < {self._pass_last_t}"
+                )
+            if host < 0:
+                raise self._fail(f"line {n}: negative host id {host}")
+            if not 0 <= item < self.n_data:
+                raise self._fail(
+                    f"line {n}: unknown item id {item} "
+                    f"(database has {self.n_data} items)"
+                )
+            self._pass_last_t = t
+            self.records_read += 1
+            queue = self._queues[host % self.n_clients]
+            queue.append((t + self._offset, item))
+            if len(queue) > self.max_buffer:
+                raise self._fail(
+                    f"demux buffer for host {host % self.n_clients} exceeded "
+                    f"{self.max_buffer} records; the trace is too skewed — "
+                    "raise workload_params['max_buffer']"
+                )
+            return
+
+    def pop(self, host: int) -> Optional[Tuple[float, int]]:
+        """The next ``(t, item)`` for ``host``; None when exhausted."""
+        queue = self._queues[host]
+        while not queue and not self._exhausted:
+            self._advance()
+        return queue.popleft() if queue else None
+
+
+class TraceHostStream:
+    """One host's lazily demultiplexed slice of the trace."""
+
+    __slots__ = ("engine", "reader", "host", "_pending")
+
+    def __init__(
+        self, engine: "TraceReplayWorkload", reader: _TraceReader, host: int
+    ) -> None:
+        self.engine = engine
+        self.reader = reader
+        self.host = host
+        self._pending: Optional[int] = None
+
+    def next_delay(self, now: float) -> float:
+        record = self.reader.pop(self.host)
+        if record is None:
+            self._pending = None
+            return _EXHAUSTED_DELAY
+        t, item = record
+        self._pending = item
+        return max(0.0, t * self.engine.time_scale - now)
+
+    def next_item(self, now: float) -> int:
+        item = self._pending
+        if item is None:
+            record = self.reader.pop(self.host)
+            if record is None:
+                raise RuntimeError(
+                    f"trace-replay stream exhausted for host {self.host}"
+                )
+            item = record[1]
+        self._pending = None
+        self.engine.note(item)
+        return item
+
+
+@register(
+    "trace-replay",
+    summary="replay a CSV/JSONL request log with per-host demux",
+    citation="cf. Icarus packet-level trace-driven workloads",
+)
+class TraceReplayWorkload(WorkloadEngine):
+    """Deterministic replay of a recorded request log.
+
+    Parameters (``workload_params``):
+
+    * ``path`` (required) — the trace file; ``.jsonl`` selects the JSONL
+      schema, anything else the CSV schema.
+    * ``loop`` (default True) — restart the trace at the end, shifting
+      timestamps so they stay non-decreasing; with ``False`` an
+      exhausted host idles out the rest of the run.
+    * ``time_scale`` (default 1.0) — multiply trace timestamps, e.g. to
+      compress a day-long log into a short simulation.
+    * ``max_buffer`` (default 65536) — per-host demux buffer cap; a
+      pathologically skewed trace fails loudly instead of buffering
+      without bound.
+    """
+
+    key = "trace-replay"
+    PARAM_DEFAULTS: Dict[str, object] = {
+        "path": REQUIRED,
+        "loop": True,
+        "time_scale": 1.0,
+        "max_buffer": 65536,
+    }
+
+    def __init__(
+        self,
+        config: "SimulationConfig",
+        streams: "RandomStreams",
+        group_of: List[int],
+    ) -> None:
+        super().__init__(config, streams, group_of)
+        path = Path(str(self.params["path"]))
+        self.time_scale = float(self.params["time_scale"])  # type: ignore[arg-type]
+        max_buffer = int(self.params["max_buffer"])  # type: ignore[arg-type]
+        if self.time_scale <= 0:
+            raise ValueError("trace-replay param 'time_scale' must be positive")
+        if max_buffer < 1:
+            raise ValueError("trace-replay param 'max_buffer' must be >= 1")
+        if not path.exists():
+            raise ValueError(f"trace file not found: {path}")
+        self.reader = _TraceReader(
+            path,
+            config.n_clients,
+            config.n_data,
+            bool(self.params["loop"]),
+            max_buffer,
+        )
+
+    def bind(self, index: int, rng: "np.random.Generator") -> TraceHostStream:
+        # ``rng`` is deliberately unused: replay is fully deterministic,
+        # think times and items both come from the recorded log.
+        return TraceHostStream(self, self.reader, index)

@@ -76,6 +76,7 @@ def test_figure_choices_cover_all_paper_figures():
         "fig-loss",
         "fig-policy",
         "fig-matrix",
+        "fig-workload",
     }
     with pytest.raises(SystemExit):
         parse(["figure", "fig99"])

@@ -30,6 +30,7 @@ PLACEHOLDERS = {
     "FIG8": "fig8_disconnection.txt",
     "FIGLOSS": "fig_link_loss.txt",
     "FIGPOLICY": "fig_peer_policy.txt",
+    "FIGWORKLOAD": "fig_workload.txt",
 }
 
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run the conformance battery over every registered workload (CI gate).
+
+Usage::
+
+    PYTHONPATH=src python tools/workload_matrix.py [--report FILE]
+    PYTHONPATH=src python tools/workload_matrix.py --key trace-replay
+
+Iterates :func:`repro.workloads.conformance.conformance_keys` — so a
+workload registered after this tool shipped is still covered with no
+edits — runs the four-check battery (smoke, seed stability, config
+round trip, constant-memory streaming) per key, prints one status line
+each, and exits non-zero when any workload fails.  ``--report`` writes
+the full per-workload check map as JSON for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.workloads.conformance import conformance_keys, run_conformance
+
+__all__ = ["main", "run_matrix"]
+
+
+def run_matrix(only: str | None = None) -> list:
+    """Battery reports for every registered workload key."""
+    reports = []
+    for key in conformance_keys():
+        if only is not None and key != only:
+            continue
+        report = run_conformance(key)
+        status = "ok" if report.passed else "FAIL"
+        print(
+            f"  {status:<4} {key:<18} "
+            f"hit_ratio={report.hit_ratio:6.2f}  "
+            f"mem_delta={report.memory_delta:>7d}B  "
+            f"checks={'/'.join(k for k, v in sorted(report.checks.items()) if v)}"
+        )
+        if not report.passed:
+            for failure in report.failures:
+                print(f"       - {failure}")
+        reports.append(report)
+    return reports
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--key",
+        default=None,
+        help="restrict the matrix to one workload key",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the per-workload JSON report here",
+    )
+    args = parser.parse_args(argv)
+
+    print("workload conformance matrix:")
+    reports = run_matrix(args.key)
+    failed = [r for r in reports if not r.passed]
+
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "workloads": [r.as_dict() for r in reports],
+            "total": len(reports),
+            "failed": len(failed),
+        }
+        args.report.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {args.report}")
+
+    print(
+        f"{len(reports)} workloads, {len(reports) - len(failed)} passed, "
+        f"{len(failed)} failed"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
